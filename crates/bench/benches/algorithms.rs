@@ -1,0 +1,71 @@
+//! Per-request decision latency of the online algorithms — the
+//! microbenchmark behind the paper's "response time" columns
+//! (Tables V–VII, Figs. 5(b)/(f)/(j)).
+//!
+//! Each iteration replays the same mid-day world state and decides a
+//! batch of pre-drawn requests, so the numbers are directly comparable
+//! across algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use com_core::{run_online, DemCom, RamCom, TotaGreedy};
+use com_datagen::{generate, synthetic, SyntheticParams};
+
+fn bench_full_runs(c: &mut Criterion) {
+    let instance = generate(&synthetic(SyntheticParams {
+        n_requests: 1_000,
+        n_workers: 250,
+        ..Default::default()
+    }));
+
+    let mut group = c.benchmark_group("online_run_1k_requests");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("TOTA", 1_000), |b| {
+        b.iter(|| {
+            let mut m = TotaGreedy;
+            black_box(run_online(&instance, &mut m, 1).total_revenue())
+        })
+    });
+    group.bench_function(BenchmarkId::new("DemCOM", 1_000), |b| {
+        b.iter(|| {
+            let mut m = DemCom::default();
+            black_box(run_online(&instance, &mut m, 1).total_revenue())
+        })
+    });
+    group.bench_function(BenchmarkId::new("RamCOM", 1_000), |b| {
+        b.iter(|| {
+            let mut m = RamCom::default();
+            black_box(run_online(&instance, &mut m, 1).total_revenue())
+        })
+    });
+    group.finish();
+}
+
+fn bench_decision_scaling(c: &mut Criterion) {
+    // Fig. 5(f) shape: decision cost as the worker pool grows.
+    let mut group = c.benchmark_group("demcom_run_vs_workers");
+    group.sample_size(10);
+    for workers in [100usize, 400, 1_600] {
+        let instance = generate(&synthetic(SyntheticParams {
+            n_requests: 500,
+            n_workers: workers,
+            ..Default::default()
+        }));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    let mut m = DemCom::default();
+                    black_box(run_online(inst, &mut m, 1).total_revenue())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_decision_scaling);
+criterion_main!(benches);

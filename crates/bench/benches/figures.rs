@@ -1,0 +1,50 @@
+//! Fig. 5 sweep benchmarks: single sweep points at the paper's default
+//! parameters (|R| = 2500, |W| = 500, rad = 1.0), one per algorithm —
+//! the building block of every Fig. 5 panel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use com_core::{run_online, DemCom, RamCom, TotaGreedy};
+use com_datagen::{generate, synthetic, SyntheticParams};
+
+fn bench_default_point(c: &mut Criterion) {
+    let instance = generate(&synthetic(SyntheticParams::default()));
+    let mut group = c.benchmark_group("fig5_default_point");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("TOTA", "R2500_W500_rad1"), |b| {
+        b.iter(|| black_box(run_online(&instance, &mut TotaGreedy, 1).total_revenue()))
+    });
+    group.bench_function(BenchmarkId::new("DemCOM", "R2500_W500_rad1"), |b| {
+        b.iter(|| black_box(run_online(&instance, &mut DemCom::default(), 1).total_revenue()))
+    });
+    group.bench_function(BenchmarkId::new("RamCOM", "R2500_W500_rad1"), |b| {
+        b.iter(|| black_box(run_online(&instance, &mut RamCom::default(), 1).total_revenue()))
+    });
+    group.finish();
+}
+
+fn bench_radius_sensitivity(c: &mut Criterion) {
+    // Fig. 5(j): response time should be nearly flat in rad.
+    let mut group = c.benchmark_group("fig5j_radius_points");
+    group.sample_size(10);
+    for rad in [0.5f64, 1.5, 2.5] {
+        let instance = generate(&synthetic(SyntheticParams {
+            radius_km: rad,
+            n_requests: 1_000,
+            n_workers: 250,
+            ..Default::default()
+        }));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rad{rad}")),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(run_online(inst, &mut RamCom::default(), 1).total_revenue()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_default_point, bench_radius_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Pricing benchmarks: Algorithm 2's Monte Carlo estimator (DemCOM's
+//! per-request cost driver) and the maximum-expected-revenue search
+//! (RamCOM's pricing step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use com_pricing::{
+    max_expected_revenue, MinPaymentEstimator, MonteCarloParams, PriceCandidates, WorkerHistory,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn histories(n: usize, len: usize, seed: u64) -> Vec<WorkerHistory> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            WorkerHistory::from_values((0..len).map(|_| rng.random_range(5.0..50.0)).collect())
+        })
+        .collect()
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_min_payment");
+    for n_workers in [2usize, 8, 32] {
+        let hs = histories(n_workers, 60, 7);
+        let refs: Vec<&WorkerHistory> = hs.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_workers), &refs, |b, refs| {
+            let est = MinPaymentEstimator::new(MonteCarloParams::default());
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(est.estimate(30.0, refs, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expected_revenue(c: &mut Criterion) {
+    let hs = histories(8, 60, 9);
+    let refs: Vec<&WorkerHistory> = hs.iter().collect();
+    let mut group = c.benchmark_group("max_expected_revenue");
+    group.bench_function("breakpoints", |b| {
+        b.iter(|| {
+            black_box(max_expected_revenue(
+                30.0,
+                &refs,
+                PriceCandidates::Breakpoints,
+            ))
+        })
+    });
+    group.bench_function("integer_grid", |b| {
+        b.iter(|| {
+            black_box(max_expected_revenue(
+                30.0,
+                &refs,
+                PriceCandidates::IntegerGrid,
+            ))
+        })
+    });
+    group.bench_function("uniform_grid_64", |b| {
+        b.iter(|| {
+            black_box(max_expected_revenue(
+                30.0,
+                &refs,
+                PriceCandidates::UniformGrid(64),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo, bench_expected_revenue);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table V–VII reproduction benchmarks: one full (quick-scale) table
+//! experiment per iteration, so `cargo bench` exercises the exact code
+//! path that regenerates the paper's tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use com_bench::tables;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_tables_quick");
+    group.sample_size(10);
+    group.bench_function("table5_rdc10_ryc10", |b| {
+        b.iter(|| black_box(tables::table5(true).rows.len()))
+    });
+    group.bench_function("table6_rdc11_ryc11", |b| {
+        b.iter(|| black_box(tables::table6(true).rows.len()))
+    });
+    group.bench_function("table7_rdx11_ryx11", |b| {
+        b.iter(|| black_box(tables::table7(true).rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

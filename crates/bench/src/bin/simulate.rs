@@ -1,0 +1,261 @@
+//! `simulate` — run COM on a scenario described by a JSON config file.
+//!
+//! ```text
+//! cargo run -p com-bench --release --bin simulate -- \
+//!     [--config scenario.json | --profile chengdu-oct|chengdu-nov|xian-nov|synthetic \
+//!      | --workers-csv W.csv --requests-csv R.csv [--platforms "A,B"]] \
+//!     [--algo tota|demcom|ramcom|greedy-rt|route-aware:<cap-km>|all] \
+//!     [--seed N] [--metric euclidean|manhattan] [--json out.json]
+//! ```
+//!
+//! The config file is a serialised `com_datagen::ScenarioConfig` — dump a
+//! starting point with `--emit-config`, edit, and re-run. This is the
+//! adoption path for users with their own city data: express it as a
+//! scenario (or build an `Instance` programmatically) and replay any
+//! matcher over it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use com_core::{
+    run_online, DemCom, GreedyRt, OnlineMatcher, RamCom, RouteAwareCom, RunResult, TotaGreedy,
+};
+use com_datagen::{
+    chengdu_nov, chengdu_oct, generate, instance_from_csv, synthetic, xian_nov, ScenarioConfig,
+    SyntheticParams,
+};
+use com_geo::DistanceMetric;
+use com_metrics::Table;
+use com_sim::{Instance, PlatformId, WorldConfig};
+
+struct Args {
+    config: Option<PathBuf>,
+    profile: String,
+    workers_csv: Option<PathBuf>,
+    requests_csv: Option<PathBuf>,
+    platforms: Vec<String>,
+    algos: Vec<String>,
+    seed: u64,
+    metric: DistanceMetric,
+    json_out: Option<PathBuf>,
+    emit_config: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--config FILE | --profile NAME] [--algo LIST] \
+         [--seed N] [--metric euclidean|manhattan] [--json FILE] [--emit-config]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config: None,
+        profile: "synthetic".into(),
+        workers_csv: None,
+        requests_csv: None,
+        platforms: vec!["A".into(), "B".into()],
+        algos: vec!["all".into()],
+        seed: 42,
+        metric: DistanceMetric::Euclidean,
+        json_out: None,
+        emit_config: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        let mut next = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--config" => args.config = Some(PathBuf::from(next("--config"))),
+            "--profile" => args.profile = next("--profile"),
+            "--workers-csv" => args.workers_csv = Some(PathBuf::from(next("--workers-csv"))),
+            "--requests-csv" => args.requests_csv = Some(PathBuf::from(next("--requests-csv"))),
+            "--platforms" => {
+                args.platforms = next("--platforms")
+                    .split(',')
+                    .map(|s| s.to_string())
+                    .collect()
+            }
+            "--algo" => args.algos = next("--algo").split(',').map(|s| s.to_string()).collect(),
+            "--seed" => args.seed = next("--seed").parse().expect("--seed must be an integer"),
+            "--metric" => {
+                args.metric = match next("--metric").as_str() {
+                    "euclidean" => DistanceMetric::Euclidean,
+                    "manhattan" => DistanceMetric::Manhattan,
+                    other => {
+                        eprintln!("unknown metric {other}");
+                        usage()
+                    }
+                }
+            }
+            "--json" => args.json_out = Some(PathBuf::from(next("--json"))),
+            "--emit-config" => args.emit_config = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn load_scenario(args: &Args) -> ScenarioConfig {
+    if let Some(path) = &args.config {
+        let text = fs::read_to_string(path).expect("read config file");
+        serde_json::from_str(&text).expect("parse ScenarioConfig JSON")
+    } else {
+        match args.profile.as_str() {
+            "chengdu-oct" => chengdu_oct(),
+            "chengdu-nov" => chengdu_nov(),
+            "xian-nov" => xian_nov(),
+            "synthetic" => synthetic(SyntheticParams::default()),
+            other => {
+                eprintln!("unknown profile {other}");
+                usage()
+            }
+        }
+    }
+}
+
+fn matcher_for(name: &str) -> Box<dyn OnlineMatcher> {
+    if let Some(cap) = name.strip_prefix("route-aware:") {
+        let cap: f64 = cap.parse().expect("route-aware:<cap-km>");
+        return Box::new(RouteAwareCom::with_cap(cap));
+    }
+    match name {
+        "tota" => Box::new(TotaGreedy),
+        "demcom" => Box::new(DemCom::default()),
+        "ramcom" => Box::new(RamCom::default()),
+        "greedy-rt" => Box::new(GreedyRt::default()),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage()
+        }
+    }
+}
+
+fn report_row(run: &RunResult, platforms: usize) -> Vec<String> {
+    let per_platform: Vec<String> = (0..platforms)
+        .map(|p| format!("{:.0}", run.revenue_for(PlatformId(p as u16))))
+        .collect();
+    vec![
+        run.algorithm.clone(),
+        format!("{:.0}", run.total_revenue()),
+        per_platform.join("/"),
+        run.completed().to_string(),
+        run.cooperative_count().to_string(),
+        run.acceptance_ratio()
+            .map_or("-".into(), |v| format!("{v:.2}")),
+        run.mean_pickup_km()
+            .map_or("-".into(), |v| format!("{v:.2}")),
+        format!("{:.4}", run.mean_response_ms()),
+    ]
+}
+
+fn build_instance(args: &Args, scenario: &ScenarioConfig) -> Instance {
+    match (&args.workers_csv, &args.requests_csv) {
+        (Some(w), Some(r)) => {
+            let workers = fs::read_to_string(w).expect("read workers csv");
+            let requests = fs::read_to_string(r).expect("read requests csv");
+            instance_from_csv(
+                &workers,
+                &requests,
+                args.platforms.clone(),
+                WorldConfig::city(30.0),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("CSV error: {e}");
+                std::process::exit(2)
+            })
+        }
+        (None, None) => generate(scenario),
+        _ => {
+            eprintln!("--workers-csv and --requests-csv must be given together");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scenario = load_scenario(&args);
+
+    if args.emit_config {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&scenario).expect("serialise scenario")
+        );
+        return;
+    }
+
+    let mut instance = build_instance(&args, &scenario);
+    instance.config.metric = args.metric;
+    println!(
+        "scenario: {} requests, {} workers, {} platforms ({}), metric {:?}, seed {}",
+        instance.request_count(),
+        instance.worker_count(),
+        instance.platform_names.len(),
+        instance.platform_names.join(", "),
+        args.metric,
+        args.seed,
+    );
+
+    let algo_names: Vec<String> = if args.algos.iter().any(|a| a == "all") {
+        vec!["tota".into(), "demcom".into(), "ramcom".into()]
+    } else {
+        args.algos.clone()
+    };
+
+    let mut table = Table::new(
+        "simulate",
+        &[
+            "Algorithm",
+            "Revenue",
+            "Rev/platform",
+            "Completed",
+            "|CoR|",
+            "|AcpRt|",
+            "Pickup km",
+            "ms/req",
+        ],
+    );
+    let mut dumps = Vec::new();
+    for name in &algo_names {
+        let mut matcher = matcher_for(name);
+        let run = run_online(&instance, matcher.as_mut(), args.seed);
+        table.push_row(report_row(&run, instance.platform_names.len()));
+        dumps.push(serde_json::json!({
+            "algorithm": run.algorithm,
+            "revenue": run.total_revenue(),
+            "completed": run.completed(),
+            "cooperative": run.cooperative_count(),
+            "acceptance_ratio": run.acceptance_ratio(),
+            "payment_rate": run.mean_outer_payment_rate(),
+            "mean_pickup_km": run.mean_pickup_km(),
+            "mean_response_ms": run.mean_response_ms(),
+            "peak_memory_bytes": run.peak_memory_bytes,
+        }));
+    }
+    println!("{}", table.render_ascii());
+
+    if let Some(path) = &args.json_out {
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&serde_json::json!({
+                "seed": args.seed,
+                "requests": instance.request_count(),
+                "workers": instance.worker_count(),
+                "runs": dumps,
+            }))
+            .expect("serialise results"),
+        )
+        .expect("write json output");
+        println!("results written to {}", path.display());
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment implementations, one module per paper artefact family.
+
+pub mod ablation;
+pub mod cr;
+pub mod figures;
+pub mod tables;
+
+use com_core::{DemCom, OnlineMatcher, RamCom, TotaGreedy};
+
+/// The three online algorithms every experiment compares, in the paper's
+/// presentation order.
+pub fn standard_matchers() -> Vec<Box<dyn OnlineMatcher>> {
+    vec![
+        Box::new(TotaGreedy),
+        Box::new(DemCom::default()),
+        Box::new(RamCom::default()),
+    ]
+}
+
+/// Fresh instances of the three standard matchers by name, for harness
+/// code that needs factories.
+pub fn matcher_by_name(name: &str) -> Box<dyn OnlineMatcher> {
+    match name {
+        "TOTA" => Box::new(TotaGreedy),
+        "DemCOM" => Box::new(DemCom::default()),
+        "RamCOM" => Box::new(RamCom::default()),
+        other => panic!("unknown matcher {other}"),
+    }
+}
+
+/// Names of the standard matchers (presentation order).
+pub const STANDARD_NAMES: [&str; 3] = ["TOTA", "DemCOM", "RamCOM"];
+
+/// The seed every headline experiment uses (results in EXPERIMENTS.md are
+/// regenerated from exactly this value).
+pub const EXPERIMENT_SEED: u64 = 20200420; // ICDE 2020 week

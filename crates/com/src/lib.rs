@@ -1,0 +1,82 @@
+//! # com — Cross Online Matching in Spatial Crowdsourcing
+//!
+//! A from-scratch Rust reproduction of Cheng, Li, Zhou, Yuan, Wang, Chen:
+//! *"Real-Time Cross Online Matching in Spatial Crowdsourcing"*
+//! (ICDE 2020).
+//!
+//! COM lets a spatial-crowdsourcing platform (ride hailing, food
+//! delivery, couriers) **borrow unoccupied workers from competing
+//! platforms** when its own workers cannot reach a request, paying the
+//! borrowed worker an *outer payment* `v' ∈ (0, v]` and keeping `v − v'`.
+//! The crate family implements the whole system: geometry and spatial
+//! indexing, the online arrival model, multi-platform world simulation,
+//! acceptance-history pricing, the DemCOM and RamCOM algorithms, the
+//! TOTA/OFF baselines, dataset generators, and an experiment harness
+//! regenerating every table and figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use com::prelude::*;
+//!
+//! // A Table IV-style synthetic city with two platforms.
+//! let scenario = synthetic(SyntheticParams {
+//!     n_requests: 300,
+//!     n_workers: 80,
+//!     ..Default::default()
+//! });
+//! let instance = generate(&scenario);
+//!
+//! // Run the paper's randomized algorithm…
+//! let ramcom = run_online(&instance, &mut RamCom::default(), 42);
+//! // …and the single-platform baseline.
+//! let tota = run_online(&instance, &mut TotaGreedy, 42);
+//!
+//! assert!(ramcom.total_revenue() >= tota.total_revenue());
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/bench` for the
+//! experiment harness (`cargo run -p com-bench --release --bin repro`).
+
+pub use com_bench as bench;
+pub use com_core as core;
+pub use com_datagen as datagen;
+pub use com_geo as geo;
+pub use com_matching as matching;
+pub use com_metrics as metrics;
+pub use com_pricing as pricing;
+pub use com_sim as sim;
+pub use com_stream as stream;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use com_core::{
+        competitive_ratio_random_order, offline_solve, run_online, Assignment, Decision, DemCom,
+        DemComConfig, EventStream, GreedyRt, Instance, MatchKind, OfflineMode, OnlineMatcher,
+        PlatformId, RamCom, RamComConfig, RequestId, RequestSpec, RouteAwareCom, RunResult,
+        ServiceModel, StreamInfo, ThresholdMode, Timestamp, TotaGreedy, Value, WorkerId,
+        WorkerSpec, World, WorldConfig,
+    };
+    pub use com_datagen::{
+        chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, DailyProfile, Hotspot,
+        PlatformSpec, ScenarioConfig, SpatialMixture, SyntheticParams, ValueDistribution,
+    };
+    pub use com_geo::{BoundingBox, GeoPoint, GridIndex, LocalProjection, Point};
+    pub use com_metrics::{SweepSeries, Table};
+    pub use com_pricing::{
+        max_expected_revenue, AcceptanceModel, EmpiricalAcceptance, MinPaymentEstimator,
+        MonteCarloParams, PriceCandidates, WorkerHistory,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = TotaGreedy;
+        let _ = DemCom::default();
+        let _ = RamCom::default();
+        let _ = Point::new(1.0, 2.0);
+    }
+}

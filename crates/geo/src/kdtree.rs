@@ -1,0 +1,380 @@
+//! A 2-D kd-tree with the same query surface as [`crate::GridIndex`].
+//!
+//! The grid index is the workspace default (service radii are small and
+//! uniform, cities are bounded); this kd-tree is the classic alternative
+//! for *non-uniform* densities and serves as the design-choice ablation
+//! in the spatial benchmarks. Churn is handled log-structured: removals
+//! tombstone, insertions go to a small overflow vector, and the tree
+//! rebuilds itself once the dead + overflow fraction passes one half —
+//! amortised `O(log n)` per operation with exact queries at all times.
+
+use std::collections::HashMap;
+
+use crate::{GridEntry, Km, Point};
+
+#[derive(Debug, Clone)]
+struct KdNode {
+    entry: GridEntry,
+    /// Split axis: 0 = x, 1 = y.
+    axis: u8,
+    /// Tombstone: the item was removed (or re-inserted elsewhere).
+    dead: bool,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// A kd-tree over items with per-item radii (workers), answering
+/// "which items' circles cover this point?" and "which covering item is
+/// nearest?".
+#[derive(Debug, Clone, Default)]
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    root: Option<usize>,
+    /// Live membership.
+    alive: HashMap<u64, GridEntry>,
+    /// id → tree-node index, for tree residents only.
+    tree_pos: HashMap<u64, usize>,
+    /// Entries inserted since the last rebuild, scanned linearly.
+    overflow: Vec<u64>,
+    /// Number of tombstoned tree nodes.
+    dead: usize,
+    max_radius: Km,
+}
+
+impl KdTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-build from entries.
+    pub fn build(entries: Vec<GridEntry>) -> Self {
+        let mut t = Self::new();
+        for e in &entries {
+            t.alive.insert(e.id, *e);
+            t.max_radius = t.max_radius.max(e.radius);
+        }
+        t.rebuild();
+        t
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Insert (replacing any entry with the same id).
+    pub fn insert(&mut self, id: u64, location: Point, radius: Km) {
+        debug_assert!(location.is_finite());
+        if self.alive.contains_key(&id) {
+            self.remove(id);
+        }
+        let entry = GridEntry {
+            id,
+            location,
+            radius,
+        };
+        self.alive.insert(id, entry);
+        self.max_radius = self.max_radius.max(radius);
+        self.overflow.push(id);
+        self.maybe_rebuild();
+    }
+
+    /// Remove by id; returns the entry if present.
+    pub fn remove(&mut self, id: u64) -> Option<GridEntry> {
+        let entry = self.alive.remove(&id)?;
+        if let Some(node) = self.tree_pos.remove(&id) {
+            self.nodes[node].dead = true;
+            self.dead += 1;
+        } else {
+            let pos = self
+                .overflow
+                .iter()
+                .position(|&o| o == id)
+                .expect("live non-tree item must be in the overflow");
+            self.overflow.swap_remove(pos);
+        }
+        self.maybe_rebuild();
+        Some(entry)
+    }
+
+    /// Whether an id is present.
+    pub fn contains(&self, id: u64) -> bool {
+        self.alive.contains_key(&id)
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let churn = self.dead + self.overflow.len();
+        if churn > self.alive.len() / 2 && churn > 16 {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        let mut entries: Vec<GridEntry> = self.alive.values().copied().collect();
+        // Deterministic layout regardless of hash order.
+        entries.sort_by_key(|e| e.id);
+        self.nodes.clear();
+        self.overflow.clear();
+        self.dead = 0;
+        self.root = Self::build_rec(&mut self.nodes, &mut entries[..], 0);
+        self.tree_pos = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.entry.id, i))
+            .collect();
+        // max_radius is recomputed exactly on rebuild (it only ever grows
+        // between rebuilds, which keeps queries correct but conservative).
+        self.max_radius = self.alive.values().map(|e| e.radius).fold(0.0, f64::max);
+    }
+
+    fn build_rec(nodes: &mut Vec<KdNode>, slice: &mut [GridEntry], depth: u8) -> Option<usize> {
+        if slice.is_empty() {
+            return None;
+        }
+        let axis = depth % 2;
+        slice.sort_by(|a, b| {
+            let (ka, kb) = if axis == 0 {
+                (a.location.x, b.location.x)
+            } else {
+                (a.location.y, b.location.y)
+            };
+            ka.total_cmp(&kb).then(a.id.cmp(&b.id))
+        });
+        let mid = slice.len() / 2;
+        let entry = slice[mid];
+        let idx = nodes.len();
+        nodes.push(KdNode {
+            entry,
+            axis,
+            dead: false,
+            left: None,
+            right: None,
+        });
+        // Recurse after reserving our slot (children indices fix up).
+        let (l, r) = slice.split_at_mut(mid);
+        let left = Self::build_rec(nodes, l, depth + 1);
+        let right = Self::build_rec(nodes, &mut r[1..], depth + 1);
+        nodes[idx].left = left;
+        nodes[idx].right = right;
+        Some(idx)
+    }
+
+    fn visit_within<F: FnMut(&GridEntry)>(&self, point: Point, reach: Km, f: &mut F) {
+        let mut stack = Vec::with_capacity(32);
+        if let Some(r) = self.root {
+            stack.push(r);
+        }
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i];
+            let e = &node.entry;
+            if !node.dead {
+                f(e);
+            }
+            let (coord, split) = if node.axis == 0 {
+                (point.x, e.location.x)
+            } else {
+                (point.y, e.location.y)
+            };
+            if coord - reach <= split {
+                if let Some(l) = node.left {
+                    stack.push(l);
+                }
+            }
+            if coord + reach >= split {
+                if let Some(r) = node.right {
+                    stack.push(r);
+                }
+            }
+        }
+        for id in &self.overflow {
+            if let Some(e) = self.alive.get(id) {
+                f(e);
+            }
+        }
+    }
+
+    /// All items whose own circle covers `point`, into `out` (cleared).
+    pub fn coverers_into(&self, point: Point, out: &mut Vec<GridEntry>) {
+        out.clear();
+        self.visit_within(point, self.max_radius, &mut |e| {
+            if e.location.covers(point, e.radius) {
+                out.push(*e);
+            }
+        });
+    }
+
+    /// Allocating wrapper around [`KdTree::coverers_into`].
+    pub fn coverers(&self, point: Point) -> Vec<GridEntry> {
+        let mut out = Vec::new();
+        self.coverers_into(point, &mut out);
+        out
+    }
+
+    /// The nearest item whose circle covers `point` (ties by id).
+    pub fn nearest_coverer(&self, point: Point) -> Option<GridEntry> {
+        let mut best: Option<(f64, GridEntry)> = None;
+        self.visit_within(point, self.max_radius, &mut |e| {
+            if e.location.covers(point, e.radius) {
+                let d = e.location.distance_sq(point);
+                let better = match best {
+                    None => true,
+                    Some((bd, be)) => d < bd || (d == bd && e.id < be.id),
+                };
+                if better {
+                    best = Some((d, *e));
+                }
+            }
+        });
+        best.map(|(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoundingBox, GridIndex};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn build_and_query() {
+        let t = KdTree::build(vec![
+            GridEntry {
+                id: 1,
+                location: Point::new(5.0, 5.0),
+                radius: 1.0,
+            },
+            GridEntry {
+                id: 2,
+                location: Point::new(5.5, 5.0),
+                radius: 0.4,
+            },
+            GridEntry {
+                id: 3,
+                location: Point::new(9.0, 9.0),
+                radius: 1.0,
+            },
+        ]);
+        let mut ids: Vec<u64> = t
+            .coverers(Point::new(5.2, 5.0))
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        // Entry 1 sits 0.2 km away, entry 2 0.3 km: 1 is nearest.
+        assert_eq!(t.nearest_coverer(Point::new(5.2, 5.0)).unwrap().id, 1);
+    }
+
+    #[test]
+    fn insert_remove_and_tombstones() {
+        let mut t = KdTree::build(
+            (0..40)
+                .map(|i| GridEntry {
+                    id: i,
+                    location: Point::new(i as f64 * 0.2, 1.0),
+                    radius: 0.5,
+                })
+                .collect(),
+        );
+        assert_eq!(t.len(), 40);
+        t.remove(0);
+        t.remove(1);
+        t.insert(100, Point::new(1.0, 1.0), 0.5);
+        assert!(!t.contains(0));
+        assert!(t.contains(100));
+        assert_eq!(t.len(), 39);
+        let ids: Vec<u64> = t
+            .coverers(Point::new(0.1, 1.0))
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        assert!(!ids.contains(&0));
+    }
+
+    #[test]
+    fn reinsert_moves_the_item() {
+        let mut t = KdTree::new();
+        t.insert(7, Point::new(1.0, 1.0), 1.0);
+        t.insert(7, Point::new(8.0, 8.0), 1.0);
+        assert_eq!(t.len(), 1);
+        assert!(t.coverers(Point::new(1.0, 1.0)).is_empty());
+        assert_eq!(t.coverers(Point::new(8.0, 8.0)).len(), 1);
+    }
+
+    #[test]
+    fn heavy_churn_matches_grid_index() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut tree = KdTree::new();
+        let mut grid = GridIndex::new(BoundingBox::square(20.0), 1.0);
+        for id in 0..600u64 {
+            let p = Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0));
+            let r = rng.random_range(0.1..2.0);
+            tree.insert(id, p, r);
+            grid.insert(id, p, r);
+        }
+        for round in 0..4 {
+            for id in 0..600u64 {
+                if rng.random_range(0.0..1.0) < 0.4 {
+                    tree.remove(id);
+                    grid.remove(id);
+                } else if rng.random_range(0.0..1.0) < 0.2 {
+                    let p = Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0));
+                    tree.insert(id, p, 1.0);
+                    grid.insert(id, p, 1.0);
+                }
+            }
+            for _ in 0..100 {
+                let q = Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0));
+                let mut a: Vec<u64> = tree.coverers(q).iter().map(|e| e.id).collect();
+                let mut b: Vec<u64> = grid.coverers(q).iter().map(|e| e.id).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "round {round} query {q}");
+                assert_eq!(
+                    tree.nearest_coverer(q).map(|e| e.id),
+                    grid.nearest_coverer(q).map(|e| e.id),
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_matches_brute_force(
+            points in proptest::collection::vec(
+                (0.0..15.0f64, 0.0..15.0f64, 0.0..2.0f64), 1..60),
+            qx in 0.0..15.0f64, qy in 0.0..15.0f64,
+        ) {
+            let entries: Vec<GridEntry> = points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, r))| GridEntry {
+                    id: i as u64,
+                    location: Point::new(x, y),
+                    radius: r,
+                })
+                .collect();
+            let t = KdTree::build(entries.clone());
+            let q = Point::new(qx, qy);
+            let mut got: Vec<u64> = t.coverers(q).iter().map(|e| e.id).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = entries
+                .iter()
+                .filter(|e| e.location.covers(q, e.radius))
+                .map(|e| e.id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

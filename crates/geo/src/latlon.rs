@@ -1,0 +1,183 @@
+//! Latitude/longitude support.
+//!
+//! The paper's datasets are GPS traces (Chengdu and Xi'an). The matching
+//! algorithms operate on a planar kilometre space, so trace coordinates are
+//! projected with a local equirectangular projection centred on the city —
+//! accurate to well under 1% over a ~50 km metro area, which is far below
+//! the noise floor of the experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Km, Point};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS-84 style latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    pub lat_deg: f64,
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Construct a geographic point. Latitude must be in `[-90, 90]` and
+    /// longitude in `[-180, 180]`.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&lat_deg),
+            "latitude out of range: {lat_deg}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude out of range: {lon_deg}"
+        );
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle (haversine) distance to `other` in kilometres.
+    pub fn haversine_km(&self, other: GeoPoint) -> Km {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// A local equirectangular projection centred on a reference point.
+///
+/// `x` grows eastward and `y` northward, both in kilometres from the
+/// reference. The inverse is exact for the forward map, making round-trips
+/// lossless up to floating-point error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    /// km per degree of longitude at the reference latitude.
+    km_per_lon_deg: f64,
+    /// km per degree of latitude.
+    km_per_lat_deg: f64,
+}
+
+impl LocalProjection {
+    /// Build a projection centred on `origin`.
+    pub fn centered_on(origin: GeoPoint) -> Self {
+        let km_per_lat_deg = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        let km_per_lon_deg = km_per_lat_deg * origin.lat_deg.to_radians().cos();
+        LocalProjection {
+            origin,
+            km_per_lon_deg,
+            km_per_lat_deg,
+        }
+    }
+
+    /// The projection origin.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Project a geographic point into the local plane (km east/north of
+    /// the origin).
+    pub fn project(&self, g: GeoPoint) -> Point {
+        Point::new(
+            (g.lon_deg - self.origin.lon_deg) * self.km_per_lon_deg,
+            (g.lat_deg - self.origin.lat_deg) * self.km_per_lat_deg,
+        )
+    }
+
+    /// Invert a planar point back to latitude/longitude.
+    pub fn unproject(&self, p: Point) -> GeoPoint {
+        GeoPoint {
+            lat_deg: self.origin.lat_deg + p.y / self.km_per_lat_deg,
+            lon_deg: self.origin.lon_deg + p.x / self.km_per_lon_deg,
+        }
+    }
+}
+
+/// City reference coordinates used by the dataset profiles.
+pub mod cities {
+    use super::GeoPoint;
+
+    /// Chengdu city centre (Tianfu Square).
+    pub const CHENGDU: GeoPoint = GeoPoint {
+        lat_deg: 30.6570,
+        lon_deg: 104.0650,
+    };
+
+    /// Xi'an city centre (Bell Tower).
+    pub const XIAN: GeoPoint = GeoPoint {
+        lat_deg: 34.2610,
+        lon_deg: 108.9424,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // Chengdu <-> Xi'an is roughly 600 km as the crow flies.
+        let d = cities::CHENGDU.haversine_km(cities::XIAN);
+        assert!(
+            (550.0..650.0).contains(&d),
+            "Chengdu–Xi'an distance {d} km out of expected band"
+        );
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert_eq!(cities::CHENGDU.haversine_km(cities::CHENGDU), 0.0);
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = GeoPoint::new(30.0, 104.0);
+        let b = GeoPoint::new(30.5, 104.5);
+        assert!((a.haversine_km(b) - b.haversine_km(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = LocalProjection::centered_on(cities::CHENGDU);
+        let g = GeoPoint::new(30.70, 104.10);
+        let p = proj.project(g);
+        let back = proj.unproject(p);
+        assert!((back.lat_deg - g.lat_deg).abs() < 1e-12);
+        assert!((back.lon_deg - g.lon_deg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_origin_maps_to_zero() {
+        let proj = LocalProjection::centered_on(cities::XIAN);
+        let p = proj.project(cities::XIAN);
+        assert_eq!(p, Point::ORIGIN);
+    }
+
+    #[test]
+    fn projection_distance_close_to_haversine_locally() {
+        let proj = LocalProjection::centered_on(cities::CHENGDU);
+        let a = GeoPoint::new(30.60, 104.00);
+        let b = GeoPoint::new(30.72, 104.15);
+        let planar = proj.project(a).distance(proj.project(b));
+        let sphere = a.haversine_km(b);
+        let rel_err = (planar - sphere).abs() / sphere;
+        assert!(
+            rel_err < 0.01,
+            "projection error {rel_err} too large for a metro-scale region"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn rejects_bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude out of range")]
+    fn rejects_bad_longitude() {
+        GeoPoint::new(0.0, 200.0);
+    }
+}

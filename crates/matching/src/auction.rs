@@ -1,0 +1,263 @@
+//! Bertsekas auction algorithm for maximum-weight bipartite matching.
+//!
+//! A third exact solver with a very different algorithmic character from
+//! Hungarian potentials and successive shortest paths: unmatched left
+//! vertices ("bidders") repeatedly bid object prices up by their bidding
+//! increment plus `ε`; with `ε`-scaling down to `ε < 1/(n+1)` on
+//! integer-scaled benefits the final assignment is exactly optimal.
+//! Included both as a cross-validation oracle for the other solvers and
+//! because auctions parallelise naturally (each bidding round is
+//! embarrassingly parallel), which matters for city-scale offline
+//! instances.
+//!
+//! Non-perfect matchings are handled by symmetrising the instance (one
+//! zero-benefit escape object per bidder plus one padding bidder per real
+//! object) so that every scaling phase ends with *all* objects assigned —
+//! see [`auction`]'s docs for why that is required for correctness.
+
+use crate::{BipartiteGraph, Matching};
+
+/// Fixed-point scale for benefits (20 fractional bits, matching `ssp`).
+const SCALE: f64 = (1u64 << 20) as f64;
+
+const UNASSIGNED: usize = usize::MAX;
+
+/// Exact maximum-weight matching via ε-scaled auctions. Edges with
+/// non-positive weight are ignored.
+///
+/// Internally the problem is **symmetrised**: `n + m` bidders compete
+/// for `m + n` objects — real bidders get a private zero-benefit escape
+/// object, and one padding bidder per real object can take that object
+/// (or any escape) at zero benefit. Every phase then ends with *every*
+/// object assigned, which is the precondition for ε-scaling with
+/// persistent prices to certify optimality (with asymmetric assignment,
+/// unassigned objects accumulate inflated prices across phases and the
+/// n·ε bound silently breaks — found the hard way; see the tests).
+pub fn auction(g: &BipartiteGraph) -> Matching {
+    let n = g.n_left();
+    let m = g.n_right();
+    if n == 0 || m == 0 || g.n_edges() == 0 {
+        return Matching::default();
+    }
+
+    let n_bidders = n + m;
+    // Benefits scaled so that integer ε = 1 certifies optimality (the
+    // classic ε-scaling exactness bound ε < 1/(#bidders + 1)).
+    let factor = n_bidders as i64 + 1;
+    let quantize = |w: f64| -> i64 { (w * SCALE).round() as i64 * factor };
+
+    // Objects: 0..m real, m..m+n escape objects (one per real bidder).
+    // Bidders: 0..n real, n..n+m padding (one per real object).
+    let mut candidates: Vec<Vec<(usize, i64)>> = Vec::with_capacity(n_bidders);
+    for l in 0..n {
+        let mut c: Vec<(usize, i64)> = g
+            .neighbors(l)
+            .iter()
+            .filter(|&&(_, w)| w > 0.0)
+            .map(|&(r, w)| (r, quantize(w)))
+            .collect();
+        c.push((m + l, 0)); // private escape
+                            // Collapse parallel edges to their best benefit (the auction
+                            // would otherwise bid against itself).
+        c.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        c.dedup_by_key(|e| e.0);
+        candidates.push(c);
+    }
+    for j in 0..m {
+        // Padding bidder for real object j: that object or any escape,
+        // all at zero benefit.
+        let mut c: Vec<(usize, i64)> = Vec::with_capacity(1 + n);
+        c.push((j, 0));
+        c.extend((0..n).map(|t| (m + t, 0)));
+        candidates.push(c);
+    }
+
+    let total_objects = m + n;
+    let mut price = vec![0i64; total_objects];
+    let mut owner = vec![UNASSIGNED; total_objects];
+    let mut assigned_to = vec![UNASSIGNED; n_bidders];
+
+    let max_benefit = candidates
+        .iter()
+        .flat_map(|c| c.iter().map(|&(_, b)| b))
+        .max()
+        .unwrap_or(0);
+
+    // ε-scaling: start high, divide by 4, finish at ε = 1.
+    let mut eps = (max_benefit / 4).max(1);
+    loop {
+        // Reset assignments for this scaling phase (prices persist — the
+        // core idea of ε-scaling).
+        owner.iter_mut().for_each(|o| *o = UNASSIGNED);
+        assigned_to.iter_mut().for_each(|a| *a = UNASSIGNED);
+
+        let mut queue: Vec<usize> = (0..n_bidders).collect();
+        while let Some(bidder) = queue.pop() {
+            // Find best and second-best net value.
+            let mut best: Option<(usize, i64)> = None;
+            let mut second = i64::MIN;
+            for &(obj, benefit) in &candidates[bidder] {
+                let net = benefit - price[obj];
+                match best {
+                    None => best = Some((obj, net)),
+                    Some((_, bn)) if net > bn => {
+                        second = bn;
+                        best = Some((obj, net));
+                    }
+                    Some(_) => second = second.max(net),
+                }
+            }
+            let (obj, best_net) = best.expect("escape objects guarantee a candidate");
+            // Bid: raise the price by the margin over the runner-up
+            // plus ε (with a single candidate the bid is +ε).
+            let increment = if second == i64::MIN {
+                eps
+            } else {
+                best_net - second + eps
+            };
+            price[obj] += increment;
+            if owner[obj] != UNASSIGNED {
+                let evicted = owner[obj];
+                assigned_to[evicted] = UNASSIGNED;
+                queue.push(evicted);
+            }
+            owner[obj] = bidder;
+            assigned_to[bidder] = obj;
+        }
+
+        if eps == 1 {
+            break;
+        }
+        eps = (eps / 4).max(1);
+    }
+
+    let mut pairs = Vec::new();
+    for (l, &obj) in assigned_to.iter().enumerate().take(n) {
+        if obj < m {
+            if let Some(w) = g.weight(l, obj) {
+                if w > 0.0 {
+                    pairs.push((l, obj, w));
+                }
+            }
+        }
+    }
+    pairs.sort_by_key(|&(l, _, _)| l);
+    Matching { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_valid_matching;
+    use crate::{greedy_matching, hungarian, ssp_max_weight};
+    use proptest::prelude::*;
+
+    fn graph(n: usize, m: usize, edges: &[(usize, usize, f64)]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(n, m);
+        for &(l, r, w) in edges {
+            g.add_edge(l, r, w);
+        }
+        g
+    }
+
+    #[test]
+    fn crossing_instance_is_solved_optimally() {
+        let g = graph(2, 2, &[(0, 0, 10.0), (0, 1, 9.0), (1, 0, 9.0)]);
+        let m = auction(&g);
+        assert_eq!(m.total_weight(), 18.0);
+        assert!(is_valid_matching(&g, &m));
+    }
+
+    #[test]
+    fn paper_example_agrees_with_hungarian() {
+        let g = graph(
+            5,
+            5,
+            &[
+                (0, 0, 4.0),
+                (0, 1, 9.0),
+                (1, 1, 9.0),
+                (1, 2, 6.0),
+                (2, 3, 3.0),
+                (3, 2, 3.0),
+                (4, 4, 2.0),
+            ],
+        );
+        assert_eq!(auction(&g).total_weight(), 21.0);
+    }
+
+    #[test]
+    fn retires_unprofitable_bidders() {
+        let g = graph(3, 1, &[(0, 0, 5.0), (1, 0, 3.0), (2, 0, 4.0)]);
+        let m = auction(&g);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn parallel_edges_take_the_best() {
+        let g = graph(1, 1, &[(0, 0, 2.0), (0, 0, 7.0), (0, 0, 4.0)]);
+        let m = auction(&g);
+        assert_eq!(m.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(auction(&BipartiteGraph::new(0, 3)).is_empty());
+        assert!(auction(&BipartiteGraph::new(3, 0)).is_empty());
+        assert!(auction(&BipartiteGraph::new(3, 3)).is_empty());
+    }
+
+    #[test]
+    fn large_random_agrees_with_both_exact_solvers() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut g = BipartiteGraph::new(50, 80);
+        for _ in 0..400 {
+            g.add_edge(
+                rng.random_range(0..50),
+                rng.random_range(0..80),
+                rng.random_range(0.1..40.0),
+            );
+        }
+        let a = auction(&g).total_weight();
+        let h = hungarian(&g).total_weight();
+        let s = ssp_max_weight(&g).total_weight();
+        assert!((a - h).abs() < 1e-4, "auction {a} != hungarian {h}");
+        assert!((a - s).abs() < 1e-4, "auction {a} != ssp {s}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_agrees_with_hungarian(
+            edges in proptest::collection::vec(
+                (0usize..5, 0usize..5, 0.1f64..20.0), 0..14),
+        ) {
+            let mut g = BipartiteGraph::new(5, 5);
+            for (l, r, w) in &edges {
+                g.add_edge(*l, *r, *w);
+            }
+            let a = auction(&g);
+            prop_assert!(is_valid_matching(&g, &a));
+            let h = hungarian(&g).total_weight();
+            prop_assert!((a.total_weight() - h).abs() < 1e-4,
+                "auction {} != hungarian {}", a.total_weight(), h);
+        }
+
+        #[test]
+        fn prop_at_least_greedy(
+            edges in proptest::collection::vec(
+                (0usize..6, 0usize..6, 0.1f64..20.0), 0..20),
+        ) {
+            let mut g = BipartiteGraph::new(6, 6);
+            for (l, r, w) in &edges {
+                g.add_edge(*l, *r, *w);
+            }
+            prop_assert!(
+                auction(&g).total_weight()
+                    >= greedy_matching(&g).total_weight() - 1e-6);
+        }
+    }
+}

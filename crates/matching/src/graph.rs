@@ -1,0 +1,211 @@
+//! Sparse weighted bipartite graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// One edge of a bipartite graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    pub left: usize,
+    pub right: usize,
+    pub weight: f64,
+}
+
+/// A sparse weighted bipartite graph with `n_left` left vertices (workers
+/// in the COM reduction) and `n_right` right vertices (requests).
+///
+/// Edges are stored per left vertex in insertion order. Duplicate
+/// `(left, right)` edges are allowed at the storage level; matchers treat
+/// them as parallel edges (only the best one can ever matter).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<(usize, f64)>>,
+    n_edges: usize,
+}
+
+impl BipartiteGraph {
+    /// An empty graph with the given partition sizes.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        BipartiteGraph {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+            n_edges: 0,
+        }
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n_left: usize, n_right: usize, edges: &[Edge]) -> Self {
+        let mut g = Self::new(n_left, n_right);
+        for e in edges {
+            g.add_edge(e.left, e.right, e.weight);
+        }
+        g
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Add an edge. Weights must be finite.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the weight is not
+    /// finite.
+    pub fn add_edge(&mut self, left: usize, right: usize, weight: f64) {
+        assert!(left < self.n_left, "left vertex {left} out of range");
+        assert!(right < self.n_right, "right vertex {right} out of range");
+        assert!(weight.is_finite(), "edge weight must be finite");
+        self.adj[left].push((right, weight));
+        self.n_edges += 1;
+    }
+
+    /// Neighbours of a left vertex as `(right, weight)` pairs.
+    #[inline]
+    pub fn neighbors(&self, left: usize) -> &[(usize, f64)] {
+        &self.adj[left]
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(l, nbrs)| {
+            nbrs.iter().map(move |&(r, w)| Edge {
+                left: l,
+                right: r,
+                weight: w,
+            })
+        })
+    }
+
+    /// Weight of the edge `(left, right)` if present (the maximum over
+    /// parallel edges).
+    pub fn weight(&self, left: usize, right: usize) -> Option<f64> {
+        self.adj[left]
+            .iter()
+            .filter(|&&(r, _)| r == right)
+            .map(|&(_, w)| w)
+            .fold(None, |acc, w| {
+                Some(match acc {
+                    None => w,
+                    Some(a) => a.max(w),
+                })
+            })
+    }
+
+    /// Largest edge weight, or `None` for an edgeless graph.
+    pub fn max_weight(&self) -> Option<f64> {
+        self.edges().map(|e| e.weight).fold(None, |acc, w| {
+            Some(match acc {
+                None => w,
+                Some(a) => a.max(w),
+            })
+        })
+    }
+
+    /// A dense `n_left × n_right` weight matrix with `fill` for missing
+    /// edges (parallel edges collapse to their max). Used by the Hungarian
+    /// solver.
+    pub fn to_dense(&self, fill: f64) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![fill; self.n_right]; self.n_left];
+        let mut set = vec![vec![false; self.n_right]; self.n_left];
+        for e in self.edges() {
+            let cell = &mut m[e.left][e.right];
+            if !set[e.left][e.right] || e.weight > *cell {
+                *cell = e.weight;
+                set[e.left][e.right] = true;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 1, 4.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(1, 0, 7.0);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbors(0), &[(1, 4.0), (2, 2.0)]);
+        assert_eq!(g.weight(1, 0), Some(7.0));
+        assert_eq!(g.weight(1, 1), None);
+        assert_eq!(g.max_weight(), Some(7.0));
+    }
+
+    #[test]
+    fn parallel_edges_take_max_weight() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, 3.0);
+        g.add_edge(0, 0, 5.0);
+        g.add_edge(0, 0, 1.0);
+        assert_eq!(g.weight(0, 0), Some(5.0));
+    }
+
+    #[test]
+    fn from_edges_and_iter_roundtrip() {
+        let edges = vec![
+            Edge {
+                left: 0,
+                right: 0,
+                weight: 1.0,
+            },
+            Edge {
+                left: 1,
+                right: 1,
+                weight: 2.0,
+            },
+        ];
+        let g = BipartiteGraph::from_edges(2, 2, &edges);
+        let back: Vec<Edge> = g.edges().collect();
+        assert_eq!(back, edges);
+    }
+
+    #[test]
+    fn to_dense_fills_missing() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 1, 3.0);
+        let m = g.to_dense(0.0);
+        assert_eq!(m, vec![vec![0.0, 3.0], vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_weight() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0, f64::NAN);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.max_weight(), None);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

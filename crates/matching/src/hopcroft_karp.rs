@@ -1,0 +1,188 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching, `O(E·√V)`.
+//!
+//! The OFF baseline reports the number of *completed* requests (the
+//! `|CpR|` columns of Tables V–VII); with unit weights that is exactly a
+//! maximum-cardinality matching, for which Hopcroft–Karp is the standard
+//! algorithm.
+
+use std::collections::VecDeque;
+
+use crate::{BipartiteGraph, Matching};
+
+const NIL: usize = usize::MAX;
+
+/// Compute a maximum-cardinality matching (edge weights are ignored; each
+/// matched pair is reported with its graph weight, or the max over
+/// parallel edges).
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let n = g.n_left();
+    let mut match_l = vec![NIL; n];
+    let mut match_r = vec![NIL; g.n_right()];
+    let mut dist = vec![0usize; n];
+
+    // BFS: layered distances from free left vertices.
+    fn bfs(g: &BipartiteGraph, match_l: &[usize], match_r: &[usize], dist: &mut [usize]) -> bool {
+        let mut queue = VecDeque::new();
+        for l in 0..g.n_left() {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = usize::MAX;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &(r, _) in g.neighbors(l) {
+                let next = match_r[r];
+                if next == NIL {
+                    found = true;
+                } else if dist[next] == usize::MAX {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        found
+    }
+
+    // DFS along the layered graph.
+    fn dfs(
+        g: &BipartiteGraph,
+        l: usize,
+        match_l: &mut [usize],
+        match_r: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        for i in 0..g.neighbors(l).len() {
+            let (r, _) = g.neighbors(l)[i];
+            let next = match_r[r];
+            if next == NIL || (dist[next] == dist[l] + 1 && dfs(g, next, match_l, match_r, dist)) {
+                match_l[l] = r;
+                match_r[r] = l;
+                return true;
+            }
+        }
+        dist[l] = usize::MAX;
+        false
+    }
+
+    while bfs(g, &match_l, &match_r, &mut dist) {
+        for l in 0..n {
+            if match_l[l] == NIL {
+                dfs(g, l, &mut match_l, &mut match_r, &mut dist);
+            }
+        }
+    }
+
+    let pairs = match_l
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r != NIL)
+        .map(|(l, &r)| (l, r, g.weight(l, r).unwrap_or(0.0)))
+        .collect();
+    Matching { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_valid_matching;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let mut g = BipartiteGraph::new(3, 3);
+        for l in 0..3 {
+            for r in 0..3 {
+                g.add_edge(l, r, 1.0);
+            }
+        }
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 3);
+        assert!(is_valid_matching(&g, &m));
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Classic case requiring augmentation: greedy l0->r0 blocks l1.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn handles_unbalanced_sides() {
+        let mut g = BipartiteGraph::new(2, 5);
+        g.add_edge(0, 4, 1.0);
+        g.add_edge(1, 4, 1.0);
+        g.add_edge(1, 0, 1.0);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.len(), 2);
+        assert!(is_valid_matching(&g, &m));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert!(hopcroft_karp(&BipartiteGraph::new(0, 0)).is_empty());
+        assert!(hopcroft_karp(&BipartiteGraph::new(3, 3)).is_empty());
+    }
+
+    #[test]
+    fn koenig_style_instance() {
+        // Path graph l0-r0-l1-r1-l2: max matching 2.
+        let mut g = BipartiteGraph::new(3, 2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(1, 0, 1.0);
+        g.add_edge(1, 1, 1.0);
+        g.add_edge(2, 1, 1.0);
+        assert_eq!(hopcroft_karp(&g).len(), 2);
+    }
+
+    /// Brute-force max cardinality by trying all subsets of edges (tiny
+    /// instances only).
+    fn brute_max_cardinality(g: &BipartiteGraph) -> usize {
+        let edges: Vec<(usize, usize)> = g.edges().map(|e| (e.left, e.right)).collect();
+        let mut best = 0usize;
+        for mask in 0u32..(1 << edges.len()) {
+            let mut lu = vec![false; g.n_left()];
+            let mut ru = vec![false; g.n_right()];
+            let mut ok = true;
+            let mut count = 0;
+            for (i, &(l, r)) in edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    if lu[l] || ru[r] {
+                        ok = false;
+                        break;
+                    }
+                    lu[l] = true;
+                    ru[r] = true;
+                    count += 1;
+                }
+            }
+            if ok {
+                best = best.max(count);
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_brute_force(
+            edges in proptest::collection::vec((0usize..5, 0usize..5), 0..12),
+        ) {
+            let mut g = BipartiteGraph::new(5, 5);
+            for (l, r) in &edges {
+                g.add_edge(*l, *r, 1.0);
+            }
+            let m = hopcroft_karp(&g);
+            prop_assert!(is_valid_matching(&g, &m));
+            prop_assert_eq!(m.len(), brute_max_cardinality(&g));
+        }
+    }
+}

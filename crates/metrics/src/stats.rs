@@ -1,0 +1,105 @@
+//! Summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two values.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Nearest-rank percentile (`q ∈ [0, 100]`); `None` for an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+/// A five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample; `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            count: values.len(),
+            mean: mean(values),
+            std: stddev(values),
+            min,
+            p50: percentile(values, 50.0)?,
+            p95: percentile(values, 95.0)?,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 95.0), Some(5.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let v = vec![9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn summary_shape() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+}

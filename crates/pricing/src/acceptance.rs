@@ -1,0 +1,213 @@
+//! Acceptance-probability models.
+
+use crate::{Value, WorkerHistory};
+
+/// The probability a worker accepts a cooperative request at a given outer
+/// payment.
+///
+/// The paper's model is the empirical history CDF (Definition 3.1); the
+/// trait exists so ablation experiments can swap in parametric models
+/// without touching the matching algorithms.
+pub trait AcceptanceModel {
+    /// `pr(v', w)` — probability the worker would serve a request paying
+    /// `payment`. Must be monotone non-decreasing in `payment` and within
+    /// `[0, 1]`.
+    fn acceptance_prob(&self, payment: Value) -> f64;
+
+    /// The smallest payment with non-zero acceptance probability, when the
+    /// model has a hard floor (the empirical CDF does; a logistic curve
+    /// does not).
+    fn min_accepted_payment(&self) -> Option<Value> {
+        None
+    }
+
+    /// The candidate payments at which the model's acceptance probability
+    /// changes (CDF breakpoints). Parametric models return an empty list
+    /// and rely on grid candidates instead.
+    fn breakpoints(&self) -> Vec<Value> {
+        Vec::new()
+    }
+}
+
+/// The paper's empirical model: a thin wrapper over [`WorkerHistory`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EmpiricalAcceptance {
+    history: WorkerHistory,
+}
+
+impl EmpiricalAcceptance {
+    pub fn new(history: WorkerHistory) -> Self {
+        EmpiricalAcceptance { history }
+    }
+
+    pub fn from_values(values: Vec<Value>) -> Self {
+        Self::new(WorkerHistory::from_values(values))
+    }
+
+    pub fn history(&self) -> &WorkerHistory {
+        &self.history
+    }
+
+    pub fn history_mut(&mut self) -> &mut WorkerHistory {
+        &mut self.history
+    }
+}
+
+impl AcceptanceModel for EmpiricalAcceptance {
+    fn acceptance_prob(&self, payment: Value) -> f64 {
+        self.history.acceptance_prob(payment)
+    }
+
+    fn min_accepted_payment(&self) -> Option<Value> {
+        self.history.min_accepted_payment()
+    }
+
+    fn breakpoints(&self) -> Vec<Value> {
+        self.history.breakpoints()
+    }
+}
+
+impl AcceptanceModel for WorkerHistory {
+    fn acceptance_prob(&self, payment: Value) -> f64 {
+        WorkerHistory::acceptance_prob(self, payment)
+    }
+
+    fn min_accepted_payment(&self) -> Option<Value> {
+        WorkerHistory::min_accepted_payment(self)
+    }
+
+    fn breakpoints(&self) -> Vec<Value> {
+        WorkerHistory::breakpoints(self)
+    }
+}
+
+/// A smooth logistic acceptance curve `1 / (1 + e^{−k(v' − m)})`, used by
+/// the ablation experiments to test the algorithms' sensitivity to the
+/// acceptance model (the empirical CDF is a step function; this is its
+/// smooth counterpart).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticAcceptance {
+    /// Payment at which acceptance probability is 0.5.
+    pub midpoint: Value,
+    /// Steepness `k > 0`.
+    pub steepness: f64,
+}
+
+impl LogisticAcceptance {
+    pub fn new(midpoint: Value, steepness: f64) -> Self {
+        assert!(steepness > 0.0, "steepness must be positive");
+        LogisticAcceptance {
+            midpoint,
+            steepness,
+        }
+    }
+}
+
+impl AcceptanceModel for LogisticAcceptance {
+    fn acceptance_prob(&self, payment: Value) -> f64 {
+        1.0 / (1.0 + (-self.steepness * (payment - self.midpoint)).exp())
+    }
+}
+
+/// A constant acceptance probability, for tests and degenerate scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantAcceptance(pub f64);
+
+impl AcceptanceModel for ConstantAcceptance {
+    fn acceptance_prob(&self, _payment: Value) -> f64 {
+        self.0.clamp(0.0, 1.0)
+    }
+}
+
+/// Group acceptance probability of Definition 4.1: the probability that
+/// *any* worker in `workers` accepts payment `payment`, assuming
+/// independent decisions:
+///
+/// ```text
+/// pr(v', W) = 1 − Π_{w ∈ W} (1 − pr(v', w))
+/// ```
+pub fn group_acceptance_prob<M: AcceptanceModel + ?Sized>(workers: &[&M], payment: Value) -> f64 {
+    let none_accept: f64 = workers
+        .iter()
+        .map(|w| 1.0 - w.acceptance_prob(payment))
+        .product();
+    1.0 - none_accept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empirical_delegates_to_history() {
+        let m = EmpiricalAcceptance::from_values(vec![4.0, 8.0]);
+        assert_eq!(m.acceptance_prob(4.0), 0.5);
+        assert_eq!(m.min_accepted_payment(), Some(4.0));
+        assert_eq!(m.breakpoints(), vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn logistic_shape() {
+        let m = LogisticAcceptance::new(10.0, 1.0);
+        assert!((m.acceptance_prob(10.0) - 0.5).abs() < 1e-12);
+        assert!(m.acceptance_prob(20.0) > 0.99);
+        assert!(m.acceptance_prob(0.0) < 0.01);
+        assert!(m.min_accepted_payment().is_none());
+        assert!(m.breakpoints().is_empty());
+    }
+
+    #[test]
+    fn constant_clamps() {
+        assert_eq!(ConstantAcceptance(2.0).acceptance_prob(1.0), 1.0);
+        assert_eq!(ConstantAcceptance(-1.0).acceptance_prob(1.0), 0.0);
+        assert_eq!(ConstantAcceptance(0.3).acceptance_prob(99.0), 0.3);
+    }
+
+    #[test]
+    fn group_acceptance_of_independent_workers() {
+        let a = ConstantAcceptance(0.5);
+        let b = ConstantAcceptance(0.5);
+        let group: Vec<&dyn AcceptanceModel> = vec![&a, &b];
+        assert!((group_acceptance_prob(&group, 1.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_acceptance_empty_is_zero() {
+        let group: Vec<&dyn AcceptanceModel> = vec![];
+        assert_eq!(group_acceptance_prob(&group, 1.0), 0.0);
+    }
+
+    #[test]
+    fn group_acceptance_with_certain_worker_is_one() {
+        let a = ConstantAcceptance(1.0);
+        let b = ConstantAcceptance(0.1);
+        let group: Vec<&dyn AcceptanceModel> = vec![&a, &b];
+        assert_eq!(group_acceptance_prob(&group, 1.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_group_at_least_best_individual(
+            probs in proptest::collection::vec(0.0f64..1.0, 1..8),
+        ) {
+            let models: Vec<ConstantAcceptance> =
+                probs.iter().map(|&p| ConstantAcceptance(p)).collect();
+            let refs: Vec<&ConstantAcceptance> = models.iter().collect();
+            let group = group_acceptance_prob(&refs, 1.0);
+            let best = probs.iter().fold(0.0f64, |a, &b| a.max(b));
+            prop_assert!(group >= best - 1e-12);
+            prop_assert!(group <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_logistic_monotone(
+            mid in 0.0f64..50.0, k in 0.01f64..5.0,
+            a in 0.0f64..100.0, b in 0.0f64..100.0,
+        ) {
+            let m = LogisticAcceptance::new(mid, k);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.acceptance_prob(lo) <= m.acceptance_prob(hi) + 1e-12);
+        }
+    }
+}

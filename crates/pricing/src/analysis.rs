@@ -1,0 +1,164 @@
+//! Analytic pricing curves and closed-form references.
+//!
+//! Algorithm 2 and the Definition 4.1 maximiser are sampling/search
+//! procedures; this module computes the quantities they estimate in
+//! closed form for empirical (step) acceptance models, so tests can
+//! cross-check the stochastic estimators and examples can plot the
+//! price–acceptance–revenue landscape.
+
+use crate::acceptance::{group_acceptance_prob, AcceptanceModel};
+use crate::Value;
+
+/// One point of a pricing curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Candidate outer payment `v'`.
+    pub payment: Value,
+    /// Group acceptance probability `pr(v', W)`.
+    pub acceptance: f64,
+    /// Expected platform revenue `(v_r − v')·pr(v', W)`.
+    pub expected_revenue: Value,
+}
+
+/// The full price–acceptance–revenue curve of a worker set for a request
+/// of value `request_value`, evaluated at every CDF breakpoint in
+/// `(0, v_r]` plus `v_r` itself. For step acceptance models this captures
+/// the entire function exactly (it is constant between breakpoints).
+pub fn pricing_curve<M: AcceptanceModel + ?Sized>(
+    request_value: Value,
+    workers: &[&M],
+) -> Vec<CurvePoint> {
+    assert!(request_value > 0.0, "request value must be positive");
+    let mut candidates: Vec<Value> = workers
+        .iter()
+        .flat_map(|w| w.breakpoints())
+        .filter(|&b| b > 0.0 && b <= request_value)
+        .collect();
+    candidates.push(request_value);
+    candidates.sort_by(|a, b| a.total_cmp(b));
+    candidates.dedup();
+
+    candidates
+        .into_iter()
+        .map(|payment| {
+            let acceptance = group_acceptance_prob(workers, payment);
+            CurvePoint {
+                payment,
+                acceptance,
+                expected_revenue: (request_value - payment) * acceptance,
+            }
+        })
+        .collect()
+}
+
+/// The *exact* expected outcome of one Algorithm 2 sampling instance's
+/// first step for a group of workers: the probability that at least one
+/// worker accepts the full price `v_r` (instances where nobody does
+/// contribute `v_r + ε` to the estimate). Useful for reasoning about the
+/// estimator's upward bias.
+pub fn full_price_acceptance<M: AcceptanceModel + ?Sized>(
+    request_value: Value,
+    workers: &[&M],
+) -> f64 {
+    group_acceptance_prob(workers, request_value)
+}
+
+/// The smallest payment with non-zero *group* acceptance — the analytic
+/// floor Algorithm 2's dichotomy homes in on. `None` when no worker has
+/// a floor below `request_value` (DemCOM will reject).
+pub fn group_floor<M: AcceptanceModel + ?Sized>(
+    request_value: Value,
+    workers: &[&M],
+) -> Option<Value> {
+    workers
+        .iter()
+        .filter_map(|w| w.min_accepted_payment())
+        .filter(|&f| f <= request_value)
+        .min_by(|a, b| a.total_cmp(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_expected_revenue, EmpiricalAcceptance, MinPaymentEstimator, PriceCandidates};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workers() -> Vec<EmpiricalAcceptance> {
+        vec![
+            EmpiricalAcceptance::from_values(vec![4.0, 8.0, 12.0]),
+            EmpiricalAcceptance::from_values(vec![6.0, 10.0]),
+        ]
+    }
+
+    #[test]
+    fn curve_is_monotone_in_acceptance() {
+        let ws = workers();
+        let refs: Vec<&EmpiricalAcceptance> = ws.iter().collect();
+        let curve = pricing_curve(11.0, &refs);
+        assert!(!curve.is_empty());
+        for pair in curve.windows(2) {
+            assert!(pair[0].payment < pair[1].payment);
+            assert!(pair[0].acceptance <= pair[1].acceptance + 1e-12);
+        }
+        // The last point is the full price with zero margin.
+        let last = curve.last().unwrap();
+        assert_eq!(last.payment, 11.0);
+        assert_eq!(last.expected_revenue, 0.0);
+    }
+
+    #[test]
+    fn curve_maximum_matches_the_maximiser() {
+        let ws = workers();
+        let refs: Vec<&EmpiricalAcceptance> = ws.iter().collect();
+        let curve = pricing_curve(11.0, &refs);
+        let best_on_curve = curve
+            .iter()
+            .map(|p| p.expected_revenue)
+            .fold(0.0f64, f64::max);
+        let opt = max_expected_revenue(11.0, &refs, PriceCandidates::Breakpoints)
+            .map(|o| o.expected_revenue)
+            .unwrap_or(0.0);
+        assert!((best_on_curve - opt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_floor_is_min_of_reachable_floors() {
+        let ws = workers();
+        let refs: Vec<&EmpiricalAcceptance> = ws.iter().collect();
+        assert_eq!(group_floor(11.0, &refs), Some(4.0));
+        // Below every floor: none reachable.
+        assert_eq!(group_floor(3.0, &refs), None);
+        // Floor above one worker's minimum but below the other's.
+        assert_eq!(group_floor(5.0, &refs), Some(4.0));
+    }
+
+    #[test]
+    fn algorithm_2_estimate_brackets_the_analytic_floor() {
+        // On a hard-step single-worker CDF the Monte Carlo estimate must
+        // land within the dichotomy resolution of the analytic floor (or
+        // above it, when full-price rejections bias it up).
+        let w = EmpiricalAcceptance::from_values(vec![5.0; 20]);
+        let refs: Vec<&EmpiricalAcceptance> = vec![&w];
+        let floor = group_floor(10.0, &refs).unwrap();
+        let est =
+            MinPaymentEstimator::default().estimate(10.0, &refs, &mut StdRng::seed_from_u64(12));
+        let xi = MinPaymentEstimator::default().params.xi;
+        assert!(
+            est >= floor - xi * 10.0 - 1e-9,
+            "estimate {est} sits below floor {floor} minus resolution"
+        );
+        assert!(est <= 10.0 + 0.01);
+    }
+
+    #[test]
+    fn full_price_acceptance_composes() {
+        let ws = workers();
+        let refs: Vec<&EmpiricalAcceptance> = ws.iter().collect();
+        // At v_r = 12 every history value is ≤ 12 so both accept surely.
+        assert!((full_price_acceptance(12.0, &refs) - 1.0).abs() < 1e-12);
+        // At v_r = 5 only the first worker's 4.0 qualifies: 1/3 alone.
+        let expected = 1.0 - (1.0 - 1.0 / 3.0) * (1.0 - 0.0);
+        assert!((full_price_acceptance(5.0, &refs) - expected).abs() < 1e-12);
+    }
+}

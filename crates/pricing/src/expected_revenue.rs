@@ -1,0 +1,288 @@
+//! Maximum-expected-revenue pricing (Definition 4.1).
+//!
+//! RamCOM does not pay the bare minimum; it trades revenue against the
+//! probability the borrowed workers actually accept:
+//!
+//! ```text
+//! E(v', W)      = (v_r − v') · pr(v', W)
+//! E(v_r, W)_max = max_{0 < v' ≤ v_r} E(v', W)
+//! ```
+//!
+//! With empirical acceptance CDFs, `pr(v', W)` is a right-continuous step
+//! function whose jumps sit exactly at the workers' history values, so the
+//! maximiser is attained at a breakpoint (or at `v_r`). The paper invokes
+//! "the algorithm in \[14\]" (Tong et al., SIGMOD'18) for this maximisation
+//! and cites an `O(max v_r)` cost — our [`PriceCandidates::IntegerGrid`]
+//! strategy matches that complexity; [`PriceCandidates::Breakpoints`] is
+//! the exact maximiser for empirical models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::acceptance::{group_acceptance_prob, AcceptanceModel};
+use crate::Value;
+
+/// How candidate payments are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PriceCandidates {
+    /// Exact for empirical (step) acceptance models: evaluate at every
+    /// distinct history value `≤ v_r` across the worker set, plus `v_r`
+    /// itself. Cost `O(B·|W|)` where `B` is the number of breakpoints.
+    #[default]
+    Breakpoints,
+    /// The paper's `O(max v_r)` strategy: evaluate at integer payments
+    /// `1, 2, …, ⌊v_r⌋` plus `v_r`. Exact when request values are
+    /// integers (as in the paper's running example).
+    IntegerGrid,
+    /// A fixed-size uniform grid over `(0, v_r]`; approximation for
+    /// smooth (parametric) acceptance models.
+    UniformGrid(usize),
+}
+
+/// The result of the expected-revenue maximisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingOutcome {
+    /// The maximising outer payment `v'_re`.
+    pub payment: Value,
+    /// Group acceptance probability `pr(v'_re, W)` at that payment.
+    pub acceptance_prob: f64,
+    /// `E(v_r, W)_max = (v_r − v'_re) · pr(v'_re, W)`.
+    pub expected_revenue: Value,
+}
+
+/// Maximise the expected revenue of a cooperative request over the outer
+/// payment. Returns `None` when the worker set is empty or no candidate
+/// yields positive expected revenue (RamCOM then rejects / the request
+/// falls through).
+///
+/// ```
+/// use com_pricing::{max_expected_revenue, EmpiricalAcceptance, PriceCandidates};
+///
+/// let w = EmpiricalAcceptance::from_values(vec![4.0, 6.0, 8.0]);
+/// let out = max_expected_revenue(10.0, &[&w], PriceCandidates::Breakpoints).unwrap();
+/// // Candidates 4 (pr 1/3), 6 (pr 2/3), 8 (pr 1), 10 (pr 1):
+/// // expected revenues 2.0, 2.67, 2.0, 0 — pay ¥6.
+/// assert_eq!(out.payment, 6.0);
+/// assert!((out.expected_revenue - 8.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn max_expected_revenue<M: AcceptanceModel + ?Sized>(
+    request_value: Value,
+    workers: &[&M],
+    strategy: PriceCandidates,
+) -> Option<PricingOutcome> {
+    assert!(
+        request_value > 0.0 && request_value.is_finite(),
+        "request value must be positive and finite"
+    );
+    if workers.is_empty() {
+        return None;
+    }
+
+    let mut best: Option<PricingOutcome> = None;
+    let mut consider = |payment: Value| {
+        if payment <= 0.0 || payment > request_value {
+            return;
+        }
+        let pr = group_acceptance_prob(workers, payment);
+        let expected = (request_value - payment) * pr;
+        let better = match &best {
+            None => expected > 0.0,
+            Some(b) => {
+                expected > b.expected_revenue + 1e-12
+                    // Ties prefer the *higher* payment: same platform
+                    // revenue, happier borrowed worker (better incentive).
+                    || ((expected - b.expected_revenue).abs() <= 1e-12
+                        && payment > b.payment)
+            }
+        };
+        if better {
+            best = Some(PricingOutcome {
+                payment,
+                acceptance_prob: pr,
+                expected_revenue: expected,
+            });
+        }
+    };
+
+    match strategy {
+        PriceCandidates::Breakpoints => {
+            let mut cands: Vec<Value> = Vec::new();
+            for w in workers {
+                cands.extend(
+                    w.breakpoints()
+                        .into_iter()
+                        .filter(|&b| b > 0.0 && b <= request_value),
+                );
+            }
+            cands.push(request_value);
+            cands.sort_by(|a, b| a.total_cmp(b));
+            cands.dedup();
+            for c in cands {
+                consider(c);
+            }
+        }
+        PriceCandidates::IntegerGrid => {
+            let mut p = 1.0;
+            while p < request_value {
+                consider(p);
+                p += 1.0;
+            }
+            consider(request_value);
+        }
+        PriceCandidates::UniformGrid(k) => {
+            let k = k.max(1);
+            for i in 1..=k {
+                consider(request_value * i as f64 / k as f64);
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantAcceptance, EmpiricalAcceptance, LogisticAcceptance};
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_3() {
+        // Example 3: payments with acceptance probabilities such that the
+        // platform margin distribution (v_r − v') ∈ {1,2,3,4,5} has
+        // acceptance {0.9, 0.8, 0.4, 0.3, 0.2}; the maximum expected
+        // revenue is 2·0.8 = 1.6 at margin 2 (payment v_r − 2 = 4 for
+        // v_r = 6). We encode the same step acceptance with a history
+        // CDF: worker history of 10 values, of which 9 are ≤ v'=5,
+        // 8 ≤ 4, 4 ≤ 3, 3 ≤ 2, 2 ≤ 1.
+        let history = vec![
+            1.0, 1.0, // 2 values ≤ 1
+            2.0, // 3 ≤ 2
+            3.0, // 4 ≤ 3
+            4.0, 4.0, 4.0, 4.0, // 8 ≤ 4
+            5.0, // 9 ≤ 5
+            9.0, // 10th value above v_r
+        ];
+        let w = EmpiricalAcceptance::from_values(history);
+        let workers: Vec<&EmpiricalAcceptance> = vec![&w];
+        let out = max_expected_revenue(6.0, &workers, PriceCandidates::IntegerGrid).unwrap();
+        assert_eq!(out.payment, 4.0);
+        assert!((out.acceptance_prob - 0.8).abs() < 1e-12);
+        assert!((out.expected_revenue - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakpoints_match_integer_grid_on_integer_histories() {
+        let a = EmpiricalAcceptance::from_values(vec![2.0, 5.0, 7.0]);
+        let b = EmpiricalAcceptance::from_values(vec![3.0, 4.0]);
+        let workers: Vec<&EmpiricalAcceptance> = vec![&a, &b];
+        let bp = max_expected_revenue(8.0, &workers, PriceCandidates::Breakpoints).unwrap();
+        let grid = max_expected_revenue(8.0, &workers, PriceCandidates::IntegerGrid).unwrap();
+        assert!((bp.expected_revenue - grid.expected_revenue).abs() < 1e-12);
+        assert_eq!(bp.payment, grid.payment);
+    }
+
+    #[test]
+    fn empty_workers_yield_none() {
+        let workers: Vec<&ConstantAcceptance> = vec![];
+        assert!(max_expected_revenue(5.0, &workers, PriceCandidates::Breakpoints).is_none());
+    }
+
+    #[test]
+    fn never_accepting_workers_yield_none() {
+        let no = ConstantAcceptance(0.0);
+        let workers: Vec<&ConstantAcceptance> = vec![&no];
+        assert!(max_expected_revenue(5.0, &workers, PriceCandidates::UniformGrid(32)).is_none());
+    }
+
+    #[test]
+    fn floor_higher_than_value_yields_none() {
+        // The worker only ever accepted fares ≥ 50; a request worth 5 can
+        // never attract them within (0, v_r].
+        let w = EmpiricalAcceptance::from_values(vec![50.0, 60.0]);
+        let workers: Vec<&EmpiricalAcceptance> = vec![&w];
+        assert!(max_expected_revenue(5.0, &workers, PriceCandidates::Breakpoints).is_none());
+    }
+
+    #[test]
+    fn always_accepting_worker_prices_low() {
+        let yes = ConstantAcceptance(1.0);
+        let workers: Vec<&ConstantAcceptance> = vec![&yes];
+        let out = max_expected_revenue(10.0, &workers, PriceCandidates::UniformGrid(100)).unwrap();
+        // Smallest candidate wins: margin is maximal.
+        assert!(out.payment <= 0.1 + 1e-12);
+        assert!(out.expected_revenue >= 9.9 - 1e-9);
+    }
+
+    #[test]
+    fn payment_at_most_request_value_even_when_only_full_price_works() {
+        let w = EmpiricalAcceptance::from_values(vec![6.0]);
+        let workers: Vec<&EmpiricalAcceptance> = vec![&w];
+        // Only v' = 6 = v_r has pr > 0, and margin 0 ⇒ expected 0 ⇒ None.
+        assert!(max_expected_revenue(6.0, &workers, PriceCandidates::Breakpoints).is_none());
+    }
+
+    #[test]
+    fn logistic_models_use_grids() {
+        let m = LogisticAcceptance::new(5.0, 1.5);
+        let workers: Vec<&LogisticAcceptance> = vec![&m];
+        let out = max_expected_revenue(10.0, &workers, PriceCandidates::UniformGrid(200)).unwrap();
+        assert!(out.payment > 0.0 && out.payment <= 10.0);
+        assert!(out.expected_revenue > 0.0);
+        // Sanity: interior maximum for a smooth S-curve.
+        assert!(out.payment > 2.0 && out.payment < 9.0);
+    }
+
+    #[test]
+    fn more_workers_never_reduce_expected_revenue() {
+        let a = EmpiricalAcceptance::from_values(vec![4.0, 6.0]);
+        let b = EmpiricalAcceptance::from_values(vec![3.0, 8.0]);
+        let one: Vec<&EmpiricalAcceptance> = vec![&a];
+        let two: Vec<&EmpiricalAcceptance> = vec![&a, &b];
+        let e1 = max_expected_revenue(9.0, &one, PriceCandidates::Breakpoints)
+            .map(|o| o.expected_revenue)
+            .unwrap_or(0.0);
+        let e2 = max_expected_revenue(9.0, &two, PriceCandidates::Breakpoints)
+            .map(|o| o.expected_revenue)
+            .unwrap_or(0.0);
+        assert!(e2 >= e1 - 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_breakpoints_dominate_uniform_grid(
+            hist in proptest::collection::vec(0.5f64..20.0, 1..12),
+            value in 1.0f64..25.0,
+        ) {
+            let w = EmpiricalAcceptance::from_values(hist);
+            let workers: Vec<&EmpiricalAcceptance> = vec![&w];
+            let exact = max_expected_revenue(value, &workers, PriceCandidates::Breakpoints)
+                .map(|o| o.expected_revenue).unwrap_or(0.0);
+            let grid = max_expected_revenue(value, &workers, PriceCandidates::UniformGrid(64))
+                .map(|o| o.expected_revenue).unwrap_or(0.0);
+            // The breakpoint maximiser is exact for step CDFs, so it must
+            // dominate any grid.
+            prop_assert!(exact >= grid - 1e-9,
+                "breakpoints {exact} < uniform grid {grid}");
+        }
+
+        #[test]
+        fn prop_outcome_is_consistent(
+            hist in proptest::collection::vec(0.5f64..20.0, 1..12),
+            value in 1.0f64..25.0,
+        ) {
+            let w = EmpiricalAcceptance::from_values(hist);
+            let workers: Vec<&EmpiricalAcceptance> = vec![&w];
+            if let Some(o) =
+                max_expected_revenue(value, &workers, PriceCandidates::Breakpoints)
+            {
+                prop_assert!(o.payment > 0.0 && o.payment <= value);
+                prop_assert!((0.0..=1.0).contains(&o.acceptance_prob));
+                let recomputed = (value - o.payment)
+                    * group_acceptance_prob(&workers, o.payment);
+                prop_assert!((recomputed - o.expected_revenue).abs() < 1e-9);
+                prop_assert!(o.expected_revenue > 0.0);
+            }
+        }
+    }
+}

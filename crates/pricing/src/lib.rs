@@ -1,0 +1,43 @@
+//! # com-pricing
+//!
+//! The incentive-mechanism substrate of Cross Online Matching.
+//!
+//! COM pays *outer* (borrowed) workers an outer payment `v'_r ∈ (0, v_r]`
+//! and the target platform keeps `v_r − v'_r` (Definitions 2.4/2.5).
+//! Whether a borrowed worker accepts is governed by an acceptance
+//! probability estimated from the worker's request-completion history
+//! (Definition 3.1, Eq. 4). This crate implements all of the pricing
+//! machinery the two COM algorithms need:
+//!
+//! * [`WorkerHistory`] — a worker's completed-request values with the
+//!   empirical-CDF acceptance probability `pr(v', w) = N(v ≤ v') / N`.
+//! * [`AcceptanceModel`] — the trait both algorithms program against, with
+//!   empirical, logistic (ablation), and constant implementations.
+//! * [`MinPaymentEstimator`] — the paper's Algorithm 2: a Monte Carlo +
+//!   dichotomy estimator of the minimum outer payment, with the
+//!   `n_s = ⌈4·ln(2/ξ)/η²⌉` sample-size rule of Lemma 1.
+//! * [`max_expected_revenue`] — the maximum-expected-revenue pricing of
+//!   Definition 4.1 (the role played by "\[14\]" in RamCOM):
+//!   `argmax_{v'} (v_r − v')·pr(v', W)` with
+//!   `pr(v', W) = 1 − Π_w (1 − pr(v', w))`.
+
+pub mod acceptance;
+pub mod analysis;
+pub mod expected_revenue;
+pub mod history;
+pub mod monte_carlo;
+pub mod sampling;
+
+pub use acceptance::{
+    group_acceptance_prob, AcceptanceModel, ConstantAcceptance, EmpiricalAcceptance,
+    LogisticAcceptance,
+};
+pub use analysis::{full_price_acceptance, group_floor, pricing_curve, CurvePoint};
+pub use expected_revenue::{max_expected_revenue, PriceCandidates, PricingOutcome};
+pub use history::WorkerHistory;
+pub use monte_carlo::{MinPaymentEstimator, MonteCarloParams};
+pub use sampling::{any_accepts, bernoulli, sample_acceptances};
+
+/// Monetary value type (kept structurally identical to `com_stream::Value`
+/// without introducing a dependency edge).
+pub type Value = f64;

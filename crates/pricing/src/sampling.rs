@@ -1,0 +1,114 @@
+//! Bernoulli sampling helpers shared by DemCOM, RamCOM and Algorithm 2.
+
+use rand::Rng;
+
+use crate::{AcceptanceModel, Value};
+
+/// One Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+///
+/// This is exactly the paper's "generate a random number x ∈ [0, 1]; accept
+/// if x ≤ pr(...)" step.
+#[inline]
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    rng.random_range(0.0..1.0) <= p
+}
+
+/// Sample each worker's accept/reject decision at `payment`.
+pub fn sample_acceptances<M: AcceptanceModel + ?Sized, R: Rng + ?Sized>(
+    workers: &[&M],
+    payment: Value,
+    rng: &mut R,
+) -> Vec<bool> {
+    workers
+        .iter()
+        .map(|w| bernoulli(rng, w.acceptance_prob(payment)))
+        .collect()
+}
+
+/// Whether *any* worker accepts at `payment` (one sampling instance of
+/// Algorithm 2, lines 4/9: "sample each w_out … check whether someone
+/// would like to serve"). Draws a decision for every worker so the RNG
+/// stream is independent of short-circuiting.
+pub fn any_accepts<M: AcceptanceModel + ?Sized, R: Rng + ?Sized>(
+    workers: &[&M],
+    payment: Value,
+    rng: &mut R,
+) -> bool {
+    let mut any = false;
+    for w in workers {
+        if bernoulli(rng, w.acceptance_prob(payment)) {
+            any = true;
+        }
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstantAcceptance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_extremes_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(bernoulli(&mut rng, 1.0));
+            assert!(!bernoulli(&mut rng, 0.0));
+            assert!(bernoulli(&mut rng, 2.0)); // clamped
+            assert!(!bernoulli(&mut rng, -0.5)); // clamped
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!(
+            (freq - 0.3).abs() < 0.02,
+            "empirical frequency {freq} too far from 0.3"
+        );
+    }
+
+    #[test]
+    fn sample_acceptances_shape_and_extremes() {
+        let yes = ConstantAcceptance(1.0);
+        let no = ConstantAcceptance(0.0);
+        let group: Vec<&ConstantAcceptance> = vec![&yes, &no, &yes];
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_acceptances(&group, 5.0, &mut rng);
+        assert_eq!(s, vec![true, false, true]);
+    }
+
+    #[test]
+    fn any_accepts_extremes() {
+        let yes = ConstantAcceptance(1.0);
+        let no = ConstantAcceptance(0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let all_no: Vec<&ConstantAcceptance> = vec![&no, &no];
+        assert!(!any_accepts(&all_no, 5.0, &mut rng));
+        let one_yes: Vec<&ConstantAcceptance> = vec![&no, &yes];
+        assert!(any_accepts(&one_yes, 5.0, &mut rng));
+        let empty: Vec<&ConstantAcceptance> = vec![];
+        assert!(!any_accepts(&empty, 5.0, &mut rng));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = ConstantAcceptance(0.5);
+        let group: Vec<&ConstantAcceptance> = vec![&m; 10];
+        let a = sample_acceptances(&group, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = sample_acceptances(&group, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! A self-contained problem instance: the input `G(T, W_in, W_out)` of the
+//! competitive-ratio definitions.
+//!
+//! An [`Instance`] bundles everything needed to replay one COM scenario —
+//! the world configuration, the platform roster, every worker's acceptance
+//! history, and the global arrival stream — so the same instance can be
+//! fed to every algorithm (and to the offline solver) for an
+//! apples-to-apples comparison.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use com_pricing::WorkerHistory;
+use com_stream::{EventStream, WorkerId};
+
+use crate::{World, WorldConfig};
+
+/// One replayable COM problem instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub config: WorldConfig,
+    pub platform_names: Vec<String>,
+    /// Acceptance history per worker (drives Definition 3.1).
+    pub histories: HashMap<WorkerId, WorkerHistory>,
+    /// The global arrival order across all platforms.
+    pub stream: EventStream,
+}
+
+impl Instance {
+    /// Build the initial world: every worker registered (state
+    /// `NotArrived`), clock at zero. The engine replays `self.stream`
+    /// against it.
+    pub fn build_world(&self) -> World {
+        let mut world = World::new(self.config.clone(), self.platform_names.clone());
+        for spec in self.stream.workers() {
+            let history = self.histories.get(&spec.id).cloned().unwrap_or_default();
+            world.register_worker(*spec, history);
+        }
+        world
+    }
+
+    /// Total number of requests.
+    pub fn request_count(&self) -> usize {
+        self.stream.request_count()
+    }
+
+    /// Total number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.stream.worker_count()
+    }
+
+    /// Largest request value (`max v_r`), or `None` with no requests.
+    pub fn max_value(&self) -> Option<f64> {
+        self.stream.max_value()
+    }
+
+    /// A copy of this instance with its arrival order permuted (for the
+    /// random-order competitive-ratio model). `permutation[i]` is the
+    /// index into the current stream of the event that comes i-th.
+    pub fn permuted(&self, permutation: &[usize]) -> Instance {
+        Instance {
+            config: self.config.clone(),
+            platform_names: self.platform_names.clone(),
+            histories: self.histories.clone(),
+            stream: self.stream.permuted(permutation),
+        }
+    }
+}
+
+/// Serializable form of an instance (histories keyed by raw id so JSON
+/// round-trips cleanly).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceData {
+    pub platform_names: Vec<String>,
+    pub histories: Vec<(u64, Vec<f64>)>,
+    pub stream: EventStream,
+    pub extent_side_km: f64,
+    pub expected_radius: f64,
+    pub speed_kmh: f64,
+    pub service_secs: f64,
+    pub reentry: bool,
+    /// `None` = unbounded shifts (JSON has no representation for the
+    /// in-memory `f64::INFINITY`).
+    #[serde(default)]
+    pub shift_secs: Option<f64>,
+    pub update_histories: bool,
+    #[serde(default)]
+    pub metric: com_geo::DistanceMetric,
+}
+
+impl From<&Instance> for InstanceData {
+    fn from(inst: &Instance) -> Self {
+        let mut histories: Vec<(u64, Vec<f64>)> = inst
+            .histories
+            .iter()
+            .map(|(id, h)| (id.as_u64(), h.values().to_vec()))
+            .collect();
+        histories.sort_by_key(|(id, _)| *id);
+        InstanceData {
+            platform_names: inst.platform_names.clone(),
+            histories,
+            stream: inst.stream.clone(),
+            extent_side_km: inst.config.extent.width(),
+            expected_radius: inst.config.expected_radius,
+            speed_kmh: inst.config.service.speed_kmh,
+            service_secs: inst.config.service.service_secs,
+            reentry: inst.config.service.reentry,
+            shift_secs: inst
+                .config
+                .service
+                .shift_secs
+                .is_finite()
+                .then_some(inst.config.service.shift_secs),
+            update_histories: inst.config.update_histories,
+            metric: inst.config.metric,
+        }
+    }
+}
+
+impl From<InstanceData> for Instance {
+    fn from(d: InstanceData) -> Self {
+        let mut config = WorldConfig::city(d.extent_side_km);
+        config.expected_radius = d.expected_radius;
+        config.service.speed_kmh = d.speed_kmh;
+        config.service.service_secs = d.service_secs;
+        config.service.reentry = d.reentry;
+        config.service.shift_secs = d.shift_secs.unwrap_or(f64::INFINITY);
+        config.update_histories = d.update_histories;
+        config.metric = d.metric;
+        Instance {
+            config,
+            platform_names: d.platform_names,
+            histories: d
+                .histories
+                .into_iter()
+                .map(|(id, v)| (WorkerId(id), WorkerHistory::from_values(v)))
+                .collect(),
+            stream: d.stream,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_geo::Point;
+    use com_stream::{PlatformId, RequestId, RequestSpec, Timestamp, WorkerSpec};
+
+    fn tiny_instance() -> Instance {
+        let workers = vec![WorkerSpec::new(
+            WorkerId(1),
+            PlatformId(0),
+            Timestamp::from_secs(0.0),
+            Point::new(1.0, 1.0),
+            1.0,
+        )];
+        let requests = vec![RequestSpec::new(
+            RequestId(1),
+            PlatformId(0),
+            Timestamp::from_secs(1.0),
+            Point::new(1.2, 1.0),
+            7.0,
+        )];
+        let mut histories = HashMap::new();
+        histories.insert(WorkerId(1), WorkerHistory::from_values(vec![3.0, 6.0]));
+        Instance {
+            config: WorldConfig::city(10.0),
+            platform_names: vec!["A".into(), "B".into()],
+            histories,
+            stream: EventStream::from_specs(workers, requests),
+        }
+    }
+
+    #[test]
+    fn build_world_registers_all_workers() {
+        let inst = tiny_instance();
+        let world = inst.build_world();
+        assert_eq!(world.worker_count(), 1);
+        assert_eq!(world.platform_count(), 2);
+        assert_eq!(world.worker(WorkerId(1)).history.values(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn counts_and_max_value() {
+        let inst = tiny_instance();
+        assert_eq!(inst.request_count(), 1);
+        assert_eq!(inst.worker_count(), 1);
+        assert_eq!(inst.max_value(), Some(7.0));
+    }
+
+    #[test]
+    fn permuted_leaves_original_untouched() {
+        let inst = tiny_instance();
+        let p = inst.permuted(&[1, 0]);
+        assert_eq!(inst.stream.len(), p.stream.len());
+        assert_ne!(inst.stream, p.stream);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = tiny_instance();
+        let data = InstanceData::from(&inst);
+        let json = serde_json::to_string(&data).unwrap();
+        let back: InstanceData = serde_json::from_str(&json).unwrap();
+        let rebuilt: Instance = back.into();
+        assert_eq!(rebuilt.stream, inst.stream);
+        assert_eq!(rebuilt.platform_names, inst.platform_names);
+        assert_eq!(
+            rebuilt.histories[&WorkerId(1)],
+            inst.histories[&WorkerId(1)]
+        );
+        assert_eq!(rebuilt.config, inst.config);
+    }
+}

@@ -1,0 +1,66 @@
+//! Road networks: COM under the Manhattan (grid-road) distance metric.
+//!
+//! The paper (§II-A) notes COM "can be equivalently changed into the
+//! shortest path distance in road networks by just changing the service
+//! range from circulars to irregular shapes". This example runs the same
+//! synthetic city under the Euclidean base model and the Manhattan
+//! surrogate: service ranges become diamonds (≈ 36% smaller area for the
+//! same `rad`), travel times use L1 distance, and every algorithm works
+//! unchanged.
+//!
+//! ```text
+//! cargo run --release --example road_network
+//! ```
+
+use com::geo::DistanceMetric;
+use com::prelude::*;
+
+fn run_city(metric: DistanceMetric, label: &str, table: &mut Table) {
+    let mut instance = generate(&synthetic(SyntheticParams {
+        n_requests: 2_000,
+        n_workers: 400,
+        seed: 77,
+        ..Default::default()
+    }));
+    instance.config.metric = metric;
+
+    let mut matchers: Vec<Box<dyn OnlineMatcher>> = vec![
+        Box::new(TotaGreedy),
+        Box::new(DemCom::default()),
+        Box::new(RamCom::default()),
+    ];
+    for matcher in &mut matchers {
+        let run = run_online(&instance, matcher.as_mut(), 5);
+        table.push_row(vec![
+            format!("{label}/{}", run.algorithm),
+            format!("{:.0}", run.total_revenue()),
+            run.completed().to_string(),
+            run.cooperative_count().to_string(),
+            run.mean_pickup_km()
+                .map_or("-".into(), |v| format!("{v:.2}")),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Euclidean circles vs Manhattan diamonds (same city, same rad)",
+        &[
+            "Metric/Method",
+            "Revenue (¥)",
+            "Completed",
+            "|CoR|",
+            "Pickup (km)",
+        ],
+    );
+    run_city(DistanceMetric::Euclidean, "L2", &mut table);
+    run_city(DistanceMetric::Manhattan, "L1", &mut table);
+    println!("{}", table.render_ascii());
+    println!(
+        "The Manhattan range is the inscribed diamond of the Euclidean\n\
+         circle, so every method completes fewer requests (≈ the 2/π area\n\
+         ratio) and pickups read longer in L1 — but the COM ordering\n\
+         (DemCOM/RamCOM over TOTA) survives the metric change, which is\n\
+         the paper's §II-A generalisation claim."
+    );
+}

@@ -1,0 +1,232 @@
+//! Cross-platform semantics: visibility rules, borrow accounting, and
+//! the 1-by-1 occupancy of borrowed workers across waiting lists.
+
+use std::collections::HashMap;
+
+use com::prelude::*;
+
+fn ts(s: f64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+/// One request on platform 0 reachable only by a single worker of
+/// platform 1 with an accept-anything history.
+fn borrow_only_instance() -> Instance {
+    let workers = vec![WorkerSpec::new(
+        WorkerId(1),
+        PlatformId(1),
+        ts(0.0),
+        Point::new(5.0, 5.0),
+        1.0,
+    )];
+    let requests = vec![RequestSpec::new(
+        RequestId(1),
+        PlatformId(0),
+        ts(10.0),
+        Point::new(5.2, 5.0),
+        10.0,
+    )];
+    let mut histories = HashMap::new();
+    histories.insert(WorkerId(1), WorkerHistory::from_values(vec![0.1]));
+    let mut config = WorldConfig::city(10.0);
+    config.service = ServiceModel::one_shot();
+    Instance {
+        config,
+        platform_names: vec!["A".into(), "B".into()],
+        histories,
+        stream: EventStream::from_specs(workers, requests),
+    }
+}
+
+#[test]
+fn tota_cannot_borrow_but_demcom_can() {
+    let inst = borrow_only_instance();
+    let tota = run_online(&inst, &mut TotaGreedy, 1);
+    assert_eq!(tota.completed(), 0, "TOTA must not see foreign workers");
+
+    let dem = run_online(&inst, &mut DemCom::default(), 1);
+    assert_eq!(dem.completed(), 1);
+    let a = &dem.assignments[0];
+    assert!(a.is_cooperative_success());
+    assert_eq!(a.worker, Some(WorkerId(1)));
+    assert_eq!(a.worker_platform, Some(PlatformId(1)));
+    // The target platform keeps v − v′ > 0; the lender's worker earns v′.
+    assert!(a.platform_revenue() > 0.0);
+    assert!((a.platform_revenue() + a.worker_earnings() - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn borrowed_worker_leaves_every_waiting_list() {
+    // Two requests, one on each platform, both reachable only by the
+    // single platform-1 worker. Once borrowed by platform 0, the worker
+    // must not serve platform 1's own later request (one-shot service).
+    let workers = vec![WorkerSpec::new(
+        WorkerId(1),
+        PlatformId(1),
+        ts(0.0),
+        Point::new(5.0, 5.0),
+        1.0,
+    )];
+    let requests = vec![
+        RequestSpec::new(
+            RequestId(1),
+            PlatformId(0),
+            ts(10.0),
+            Point::new(5.2, 5.0),
+            10.0,
+        ),
+        RequestSpec::new(
+            RequestId(2),
+            PlatformId(1),
+            ts(20.0),
+            Point::new(5.1, 5.0),
+            8.0,
+        ),
+    ];
+    let mut histories = HashMap::new();
+    histories.insert(WorkerId(1), WorkerHistory::from_values(vec![0.1]));
+    let mut config = WorldConfig::city(10.0);
+    config.service = ServiceModel::one_shot();
+    let inst = Instance {
+        config,
+        platform_names: vec!["A".into(), "B".into()],
+        histories,
+        stream: EventStream::from_specs(workers, requests),
+    };
+    let run = run_online(&inst, &mut DemCom::default(), 3);
+    assert_eq!(run.completed(), 1, "the single worker serves exactly once");
+    assert!(run.assignments[0].is_cooperative_success());
+    assert_eq!(run.assignments[1].kind, MatchKind::Rejected);
+}
+
+#[test]
+fn reentry_returns_borrowed_worker_to_its_home_platform() {
+    // With re-entry, the borrowed worker finishes platform 0's job and
+    // later serves its own platform's request as an inner worker.
+    let workers = vec![WorkerSpec::new(
+        WorkerId(1),
+        PlatformId(1),
+        ts(0.0),
+        Point::new(5.0, 5.0),
+        1.0,
+    )];
+    let requests = vec![
+        RequestSpec::new(
+            RequestId(1),
+            PlatformId(0),
+            ts(10.0),
+            Point::new(5.2, 5.0),
+            10.0,
+        ),
+        RequestSpec::new(
+            RequestId(2),
+            PlatformId(1),
+            ts(10_000.0),
+            Point::new(5.1, 5.0),
+            8.0,
+        ),
+    ];
+    let mut histories = HashMap::new();
+    histories.insert(WorkerId(1), WorkerHistory::from_values(vec![0.1]));
+    let mut config = WorldConfig::city(10.0);
+    config.service = ServiceModel::taxi(30.0, 300.0);
+    let inst = Instance {
+        config,
+        platform_names: vec!["A".into(), "B".into()],
+        histories,
+        stream: EventStream::from_specs(workers, requests),
+    };
+    let run = run_online(&inst, &mut DemCom::default(), 3);
+    assert_eq!(run.completed(), 2);
+    assert_eq!(run.assignments[0].kind, MatchKind::Outer);
+    assert_eq!(run.assignments[1].kind, MatchKind::Inner);
+    assert_eq!(run.assignments[1].worker, Some(WorkerId(1)));
+}
+
+#[test]
+fn inner_workers_always_have_priority_over_closer_outer_workers() {
+    let workers = vec![
+        // Inner worker, 0.9 km from the request.
+        WorkerSpec::new(
+            WorkerId(1),
+            PlatformId(0),
+            ts(0.0),
+            Point::new(4.1, 5.0),
+            1.0,
+        ),
+        // Outer worker, 0.1 km away.
+        WorkerSpec::new(
+            WorkerId(2),
+            PlatformId(1),
+            ts(0.0),
+            Point::new(5.1, 5.0),
+            1.0,
+        ),
+    ];
+    let requests = vec![RequestSpec::new(
+        RequestId(1),
+        PlatformId(0),
+        ts(10.0),
+        Point::new(5.0, 5.0),
+        10.0,
+    )];
+    let mut histories = HashMap::new();
+    histories.insert(WorkerId(2), WorkerHistory::from_values(vec![0.1]));
+    let mut config = WorldConfig::city(10.0);
+    config.service = ServiceModel::one_shot();
+    let inst = Instance {
+        config,
+        platform_names: vec!["A".into(), "B".into()],
+        histories,
+        stream: EventStream::from_specs(workers, requests),
+    };
+    let run = run_online(&inst, &mut DemCom::default(), 1);
+    assert_eq!(run.assignments[0].kind, MatchKind::Inner);
+    assert_eq!(run.assignments[0].worker, Some(WorkerId(1)));
+    assert_eq!(run.assignments[0].platform_revenue(), 10.0);
+}
+
+#[test]
+fn three_platform_borrowing_works() {
+    // A request on platform 0 with candidate outer workers on platforms
+    // 1 and 2; the nearest willing one serves.
+    let workers = vec![
+        WorkerSpec::new(
+            WorkerId(1),
+            PlatformId(1),
+            ts(0.0),
+            Point::new(5.4, 5.0),
+            1.0,
+        ),
+        WorkerSpec::new(
+            WorkerId(2),
+            PlatformId(2),
+            ts(0.0),
+            Point::new(5.1, 5.0),
+            1.0,
+        ),
+    ];
+    let requests = vec![RequestSpec::new(
+        RequestId(1),
+        PlatformId(0),
+        ts(10.0),
+        Point::new(5.0, 5.0),
+        10.0,
+    )];
+    let mut histories = HashMap::new();
+    histories.insert(WorkerId(1), WorkerHistory::from_values(vec![0.1]));
+    histories.insert(WorkerId(2), WorkerHistory::from_values(vec![0.1]));
+    let mut config = WorldConfig::city(10.0);
+    config.service = ServiceModel::one_shot();
+    let inst = Instance {
+        config,
+        platform_names: vec!["A".into(), "B".into(), "C".into()],
+        histories,
+        stream: EventStream::from_specs(workers, requests),
+    };
+    let run = run_online(&inst, &mut DemCom::default(), 1);
+    assert_eq!(run.completed(), 1);
+    let a = &run.assignments[0];
+    assert_eq!(a.worker, Some(WorkerId(2)), "nearest outer worker serves");
+    assert_eq!(a.worker_platform, Some(PlatformId(2)));
+}

@@ -1,0 +1,133 @@
+//! Full-pipeline integration: scenario generation → engine replay →
+//! metrics, across all algorithms, on a realistic (if small) city-day.
+
+use com::prelude::*;
+
+fn instance() -> Instance {
+    generate(&synthetic(SyntheticParams {
+        n_requests: 800,
+        n_workers: 200,
+        seed: 1234,
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn all_algorithms_run_the_same_day() {
+    let inst = instance();
+    let mut matchers: Vec<Box<dyn OnlineMatcher>> = vec![
+        Box::new(TotaGreedy),
+        Box::new(GreedyRt::default()),
+        Box::new(DemCom::default()),
+        Box::new(RamCom::default()),
+    ];
+    for matcher in &mut matchers {
+        let run = run_online(&inst, matcher.as_mut(), 5);
+        assert_eq!(run.assignments.len(), 800, "{}", run.algorithm);
+        assert!(run.total_revenue() >= 0.0);
+        assert!(run.completed() <= 800);
+        // Revenue only comes from completed requests.
+        let recomputed: f64 = run
+            .assignments
+            .iter()
+            .filter(|a| a.is_completed())
+            .map(|a| a.platform_revenue())
+            .sum();
+        assert!((recomputed - run.total_revenue()).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn com_algorithms_dominate_tota_in_revenue() {
+    let inst = instance();
+    let tota = run_online(&inst, &mut TotaGreedy, 5).total_revenue();
+    let dem = run_online(&inst, &mut DemCom::default(), 5).total_revenue();
+    let ram = run_online(&inst, &mut RamCom::default(), 5).total_revenue();
+    assert!(dem >= tota, "DemCOM {dem} < TOTA {tota}");
+    // RamCOM is randomized; allow a small tolerance but it must at least
+    // be in TOTA's league on a borrow-friendly workload.
+    assert!(ram >= tota * 0.95, "RamCOM {ram} ≪ TOTA {tota}");
+}
+
+#[test]
+fn demcom_completes_at_least_tota() {
+    let inst = instance();
+    let tota = run_online(&inst, &mut TotaGreedy, 5);
+    let dem = run_online(&inst, &mut DemCom::default(), 5);
+    assert!(dem.completed() >= tota.completed());
+    // Every TOTA-completed request is inner-feasible, and DemCOM tries
+    // inner workers first, so its inner count cannot collapse.
+    assert!(dem.cooperative_count() > 0, "no borrowing happened at all");
+}
+
+#[test]
+fn outer_payments_stay_inside_the_contract() {
+    let inst = instance();
+    for seed in [1, 2, 3] {
+        for run in [
+            run_online(&inst, &mut DemCom::default(), seed),
+            run_online(&inst, &mut RamCom::default(), seed),
+        ] {
+            for a in run
+                .assignments
+                .iter()
+                .filter(|a| a.is_cooperative_success())
+            {
+                assert!(
+                    a.outer_payment > 0.0 && a.outer_payment <= a.request.value + 1e-9,
+                    "{}: payment {} for value {}",
+                    run.algorithm,
+                    a.outer_payment,
+                    a.request.value
+                );
+                // Platform revenue for the cooperative request is the
+                // complement of the payment.
+                assert!((a.platform_revenue() - (a.request.value - a.outer_payment)).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn acceptance_ratio_and_payment_rate_have_paper_magnitudes() {
+    let inst = instance();
+    let dem = run_online(&inst, &mut DemCom::default(), 5);
+    let ram = run_online(&inst, &mut RamCom::default(), 5);
+    // The paper reports DemCOM ≈ 0.09–0.17 acceptance at v'/v ≈ 0.70–0.77
+    // and RamCOM ≈ 0.25–0.75 at ≈ 0.81–0.82. Bands here are generous —
+    // the shape that matters is RamCOM > DemCOM on both metrics.
+    let (dem_acc, ram_acc) = (
+        dem.acceptance_ratio().expect("DemCOM made offers"),
+        ram.acceptance_ratio().expect("RamCOM made offers"),
+    );
+    assert!(
+        ram_acc > dem_acc,
+        "RamCOM acceptance {ram_acc} ≤ DemCOM {dem_acc}"
+    );
+    // Payment rates: the paper reports RamCOM ≈ 0.82 vs DemCOM ≈ 0.70.
+    // In our model DemCOM's Algorithm 2 estimate is pulled upward by
+    // fully-rejected sampling instances (the `v_r + ε` term), so the two
+    // rates end up statistically close — a documented deviation (see
+    // EXPERIMENTS.md). Assert both sit in a sane band and near each
+    // other rather than a strict ordering.
+    let (dem_rate, ram_rate) = (
+        dem.mean_outer_payment_rate().unwrap(),
+        ram.mean_outer_payment_rate().unwrap(),
+    );
+    assert!((0.2..=0.95).contains(&dem_rate), "DemCOM rate {dem_rate}");
+    assert!((0.2..=0.95).contains(&ram_rate), "RamCOM rate {ram_rate}");
+    assert!(
+        (ram_rate - dem_rate).abs() < 0.2,
+        "payment rates diverged: RamCOM {ram_rate} vs DemCOM {dem_rate}"
+    );
+}
+
+#[test]
+fn run_result_platform_split_is_consistent() {
+    let inst = instance();
+    let run = run_online(&inst, &mut RamCom::default(), 5);
+    let split: f64 = (0..2).map(|p| run.revenue_for(PlatformId(p))).sum();
+    assert!((split - run.total_revenue()).abs() < 1e-6);
+    let completed_split: usize = (0..2).map(|p| run.completed_for(PlatformId(p))).sum();
+    assert_eq!(completed_split, run.completed());
+}
