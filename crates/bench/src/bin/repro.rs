@@ -154,7 +154,14 @@ fn run_ablation(quick: bool, out: &Path) {
 fn main() {
     let args = parse_args();
     let all = [
-        "table5", "table6", "table7", "table5x30", "fig5r", "fig5w", "fig5rad", "cr",
+        "table5",
+        "table6",
+        "table7",
+        "table5x30",
+        "fig5r",
+        "fig5w",
+        "fig5rad",
+        "cr",
         "ablation",
     ];
     let list: Vec<String> = if args.experiments.iter().any(|e| e == "all") {
@@ -174,9 +181,7 @@ fn main() {
         let started = Instant::now();
         CountingAllocator::reset_peak();
         match name.as_str() {
-            "table5" | "table6" | "table7" | "table5x30" => {
-                run_table(name, args.quick, &args.out)
-            }
+            "table5" | "table6" | "table7" | "table5x30" => run_table(name, args.quick, &args.out),
             "fig5r" | "fig5w" | "fig5rad" => run_sweep(name, args.quick, &args.out),
             "cr" => run_cr(args.quick, &args.out),
             "ablation" => run_ablation(args.quick, &args.out),

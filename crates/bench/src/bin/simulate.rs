@@ -5,8 +5,16 @@
 //!     [--config scenario.json | --profile chengdu-oct|chengdu-nov|xian-nov|synthetic \
 //!      | --workers-csv W.csv --requests-csv R.csv [--platforms "A,B"]] \
 //!     [--algo tota|demcom|ramcom|greedy-rt|route-aware:<cap-km>|all] \
-//!     [--seed N] [--metric euclidean|manhattan] [--json out.json]
+//!     [--seed N] [--metric euclidean|manhattan] [--json out.json] \
+//!     [--stats] [--trace out.jsonl]
 //! ```
+//!
+//! `--stats` installs the `com-obs` collector and prints a per-algorithm,
+//! per-phase latency table (candidate search, pricing, offer, full
+//! decision) plus the run's counters and gauges. `--trace FILE` also
+//! streams every span as one JSON object per line. Neither flag changes
+//! any decision or revenue: identical seeds give identical results with
+//! instrumentation on or off.
 //!
 //! The config file is a serialised `com_datagen::ScenarioConfig` — dump a
 //! starting point with `--emit-config`, edit, and re-run. This is the
@@ -39,12 +47,16 @@ struct Args {
     metric: DistanceMetric,
     json_out: Option<PathBuf>,
     emit_config: bool,
+    stats: bool,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simulate [--config FILE | --profile NAME] [--algo LIST] \
-         [--seed N] [--metric euclidean|manhattan] [--json FILE] [--emit-config]"
+        "usage: simulate [--config FILE | --profile NAME \
+         | --workers-csv W.csv --requests-csv R.csv [--platforms NAMES]] \
+         [--algo LIST] [--seed N] [--metric euclidean|manhattan] \
+         [--json FILE] [--stats] [--trace FILE.jsonl] [--emit-config]"
     );
     std::process::exit(2);
 }
@@ -61,6 +73,8 @@ fn parse_args() -> Args {
         metric: DistanceMetric::Euclidean,
         json_out: None,
         emit_config: false,
+        stats: false,
+        trace: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -94,6 +108,8 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => args.json_out = Some(PathBuf::from(next("--json"))),
+            "--stats" => args.stats = true,
+            "--trace" => args.trace = Some(PathBuf::from(next("--trace"))),
             "--emit-config" => args.emit_config = true,
             "--help" | "-h" => usage(),
             other => {
@@ -182,6 +198,65 @@ fn build_instance(args: &Args, scenario: &ScenarioConfig) -> Instance {
     }
 }
 
+/// Nanoseconds rendered as microseconds with one decimal.
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// The `--stats` report: one per-phase latency table plus one
+/// counter/gauge table covering every instrumented run.
+fn print_stats(reports: &[com_obs::RunTelemetry]) {
+    let mut phases = Table::new(
+        "per-phase latency (µs)",
+        &[
+            "Algorithm",
+            "Phase",
+            "Count",
+            "p50 µs",
+            "p90 µs",
+            "p99 µs",
+            "max µs",
+            "total ms",
+        ],
+    );
+    let mut meters = Table::new(
+        "counters and gauges",
+        &["Algorithm", "Name", "Value", "Max"],
+    );
+    for t in reports {
+        for p in &t.phases {
+            phases.push_row(vec![
+                t.algorithm.clone(),
+                p.phase.clone(),
+                p.count.to_string(),
+                us(p.p50_ns),
+                us(p.p90_ns),
+                us(p.p99_ns),
+                us(p.max_ns),
+                format!("{:.2}", p.total_ns as f64 / 1e6),
+            ]);
+        }
+        for c in &t.counters {
+            meters.push_row(vec![
+                t.algorithm.clone(),
+                c.name.clone(),
+                c.value.to_string(),
+                "-".into(),
+            ]);
+        }
+        for g in &t.gauges {
+            meters.push_row(vec![
+                t.algorithm.clone(),
+                g.name.clone(),
+                format!("{:.0}", g.last),
+                format!("{:.0}", g.max),
+            ]);
+        }
+    }
+    println!("{}", phases.render_ascii());
+    println!("{}", meters.render_ascii());
+}
+
 fn main() {
     let args = parse_args();
     let scenario = load_scenario(&args);
@@ -225,11 +300,22 @@ fn main() {
             "ms/req",
         ],
     );
+    if let Some(path) = &args.trace {
+        com_obs::install_with_trace(path).unwrap_or_else(|e| {
+            eprintln!("cannot open trace file {}: {e}", path.display());
+            std::process::exit(2)
+        });
+    } else if args.stats {
+        com_obs::install();
+    }
+
     let mut dumps = Vec::new();
+    let mut reports = Vec::new();
     for name in &algo_names {
         let mut matcher = matcher_for(name);
         let run = run_online(&instance, matcher.as_mut(), args.seed);
         table.push_row(report_row(&run, instance.platform_names.len()));
+        reports.extend(run.telemetry.clone());
         dumps.push(serde_json::json!({
             "algorithm": run.algorithm,
             "revenue": run.total_revenue(),
@@ -243,6 +329,14 @@ fn main() {
         }));
     }
     println!("{}", table.render_ascii());
+
+    if args.stats || args.trace.is_some() {
+        print_stats(&reports);
+        com_obs::uninstall();
+        if let Some(path) = &args.trace {
+            println!("trace written to {}", path.display());
+        }
+    }
 
     if let Some(path) = &args.json_out {
         fs::write(

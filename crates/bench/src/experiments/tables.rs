@@ -215,8 +215,7 @@ pub fn run_table_multiday(
         let instance = generate(&base.with_seed(base.seed ^ (day as u64) << 16));
         let started = Instant::now();
         let off = offline_solve(&instance, OfflineMode::GreedySchedule);
-        let off_ms =
-            started.elapsed().as_secs_f64() * 1e3 / instance.request_count().max(1) as f64;
+        let off_ms = started.elapsed().as_secs_f64() * 1e3 / instance.request_count().max(1) as f64;
         per_day[0].push((
             off.revenue_by_platform[0],
             off.revenue_by_platform[1],

@@ -44,6 +44,7 @@ pub use com_datagen as datagen;
 pub use com_geo as geo;
 pub use com_matching as matching;
 pub use com_metrics as metrics;
+pub use com_obs as obs;
 pub use com_pricing as pricing;
 pub use com_sim as sim;
 pub use com_stream as stream;

@@ -52,6 +52,8 @@ impl BatchedCom {
 /// at their batch-flush time; `decision_nanos` is the batch solve time
 /// split evenly over the batch).
 pub fn run_batched(instance: &Instance, config: BatchedCom, seed: u64) -> RunResult {
+    let algorithm = format!("Batched({}s)", config.window_secs);
+    com_obs::begin_run(&algorithm);
     let mut world = instance.build_world();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut assignments: Vec<Assignment> = Vec::with_capacity(instance.request_count());
@@ -101,11 +103,12 @@ pub fn run_batched(instance: &Instance, config: BatchedCom, seed: u64) -> RunRes
     let final_bytes =
         world.approx_bytes() + assignments.capacity() * std::mem::size_of::<Assignment>();
     RunResult {
-        algorithm: format!("Batched({}s)", config.window_secs),
+        algorithm,
         assignments,
         peak_memory_bytes: peak.max(final_bytes),
         final_memory_bytes: final_bytes,
         total_decision_nanos: total_nanos,
+        telemetry: com_obs::end_run(),
     }
 }
 

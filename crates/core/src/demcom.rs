@@ -51,12 +51,20 @@ impl OnlineMatcher for DemCom {
 
     fn decide(&mut self, world: &World, request: &RequestSpec, rng: &mut StdRng) -> Decision {
         // Lines 2–6: inner workers have priority; nearest feasible wins.
-        if let Some(w) = world.nearest_inner_coverer(request.platform, request.location) {
+        // Line 8: W_out^r — feasible outer workers, nearest-first.
+        let (inner, outer) = {
+            let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
+            let inner = world.nearest_inner_coverer(request.platform, request.location);
+            let outer = if inner.is_none() {
+                world.outer_coverers(request.platform, request.location)
+            } else {
+                Vec::new()
+            };
+            (inner, outer)
+        };
+        if let Some(w) = inner {
             return Decision::Inner { worker: w.id };
         }
-
-        // Line 8: W_out^r — feasible outer workers, nearest-first.
-        let outer = world.outer_coverers(request.platform, request.location);
         if outer.is_empty() {
             // Lines 9–10: nobody to even ask.
             return Decision::Reject {
@@ -69,8 +77,11 @@ impl OnlineMatcher for DemCom {
             .iter()
             .map(|(_, w)| &world.worker(w.id).history)
             .collect();
-        let estimator = MinPaymentEstimator::new(self.config.monte_carlo);
-        let payment = estimator.estimate(request.value, &histories, rng);
+        let payment = {
+            let _span = com_obs::span(com_obs::PHASE_PRICING);
+            let estimator = MinPaymentEstimator::new(self.config.monte_carlo);
+            estimator.estimate(request.value, &histories, rng)
+        };
 
         // Lines 13–14: serving would lose money.
         if payment > request.value {
@@ -82,6 +93,7 @@ impl OnlineMatcher for DemCom {
         // Lines 15–24: offer v'_r to each candidate; nearest acceptor
         // serves (the candidate list is nearest-first, so the first
         // acceptor is the nearest one).
+        let _span = com_obs::span(com_obs::PHASE_OFFER);
         for ((platform, idle), history) in outer.iter().zip(&histories) {
             if bernoulli(rng, history.acceptance_prob(payment)) {
                 return Decision::Outer {

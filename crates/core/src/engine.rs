@@ -15,8 +15,9 @@ use com_sim::{ArrivalEvent, Assignment, Instance, MatchKind, RequestSpec, Value,
 
 use crate::matcher::{Decision, OnlineMatcher, StreamInfo};
 
-/// How often (in processed requests) the engine samples
-/// `World::approx_bytes` for the peak-memory metric.
+/// How often (in processed stream events — worker arrivals count too) the
+/// engine samples `World::approx_bytes` for the peak-memory metric. The
+/// final world state is always sampled regardless of run length.
 const MEMORY_SAMPLE_EVERY: usize = 512;
 
 /// The complete record of one online run.
@@ -32,6 +33,10 @@ pub struct RunResult {
     pub final_memory_bytes: usize,
     /// Total wall-clock nanoseconds spent inside `decide`.
     pub total_decision_nanos: u64,
+    /// Per-phase latency/counter/gauge report for this run. `None` unless
+    /// a `com-obs` collector was installed (see [`com_obs::install`]);
+    /// collection never changes the run's decisions or revenue.
+    pub telemetry: Option<com_obs::RunTelemetry>,
 }
 
 impl RunResult {
@@ -160,6 +165,7 @@ pub fn run_online(instance: &Instance, matcher: &mut dyn OnlineMatcher, seed: u6
     let info = StreamInfo {
         max_value: instance.max_value().unwrap_or(1.0),
     };
+    com_obs::begin_run(matcher.name());
     matcher.begin(&info, &mut rng);
 
     let mut assignments: Vec<Assignment> = Vec::with_capacity(instance.request_count());
@@ -169,32 +175,42 @@ pub fn run_online(instance: &Instance, matcher: &mut dyn OnlineMatcher, seed: u6
     let log_bytes = |a: &Vec<Assignment>| a.capacity() * std::mem::size_of::<Assignment>();
     let mut peak = world.approx_bytes() + log_bytes(&assignments);
     let mut total_nanos = 0u64;
+    let mut events = 0usize;
 
     for event in instance.stream.iter() {
         world.advance_to(event.time());
         match event {
             ArrivalEvent::Worker(spec) => world.worker_arrives(spec.id),
             ArrivalEvent::Request(request) => {
+                let span = com_obs::span(com_obs::PHASE_DECISION);
                 let started = Instant::now();
                 let decision = matcher.decide(&world, request, &mut rng);
                 let nanos = started.elapsed().as_nanos() as u64;
+                drop(span);
                 total_nanos += nanos;
                 let assignment = apply_decision(&mut world, request, decision, nanos);
                 assignments.push(assignment);
-                if assignments.len().is_multiple_of(MEMORY_SAMPLE_EVERY) {
-                    peak = peak.max(world.approx_bytes() + log_bytes(&assignments));
-                }
             }
+        }
+        // Sample on every stream event (a burst of worker arrivals grows
+        // the world without any request being processed).
+        events += 1;
+        if events.is_multiple_of(MEMORY_SAMPLE_EVERY) {
+            let bytes = world.approx_bytes() + log_bytes(&assignments);
+            com_obs::gauge_set("world.approx_bytes", bytes as f64);
+            peak = peak.max(bytes);
         }
     }
 
     let final_bytes = world.approx_bytes() + log_bytes(&assignments);
+    com_obs::gauge_set("world.approx_bytes", final_bytes as f64);
     RunResult {
         algorithm: matcher.name().to_string(),
         assignments,
         peak_memory_bytes: peak.max(final_bytes),
         final_memory_bytes: final_bytes,
         total_decision_nanos: total_nanos,
+        telemetry: com_obs::end_run(),
     }
 }
 

@@ -59,7 +59,10 @@ impl RamCom {
     /// Lines 10–11: price by maximum expected revenue, then run DemCOM's
     /// offer loop (Algorithm 1, lines 13–26) at that payment.
     fn try_outer(&self, world: &World, request: &RequestSpec, rng: &mut StdRng) -> Decision {
-        let outer = world.outer_coverers(request.platform, request.location);
+        let outer = {
+            let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
+            world.outer_coverers(request.platform, request.location)
+        };
         if outer.is_empty() {
             return Decision::Reject {
                 was_cooperative_offer: false,
@@ -69,13 +72,17 @@ impl RamCom {
             .iter()
             .map(|(_, w)| &world.worker(w.id).history)
             .collect();
-        let Some(pricing) = max_expected_revenue(request.value, &histories, self.config.candidates)
-        else {
+        let pricing = {
+            let _span = com_obs::span(com_obs::PHASE_PRICING);
+            max_expected_revenue(request.value, &histories, self.config.candidates)
+        };
+        let Some(pricing) = pricing else {
             // No payment in (0, v_r] yields positive expected revenue.
             return Decision::Reject {
                 was_cooperative_offer: true,
             };
         };
+        let _span = com_obs::span(com_obs::PHASE_OFFER);
         for ((platform, idle), history) in outer.iter().zip(&histories) {
             if bernoulli(rng, history.acceptance_prob(pricing.payment)) {
                 return Decision::Outer {
@@ -110,7 +117,10 @@ impl OnlineMatcher for RamCom {
         }
         if request.value > self.threshold {
             // Lines 4–8: big request — a random feasible inner worker.
-            let inner = world.inner_coverers(request.platform, request.location);
+            let inner = {
+                let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
+                world.inner_coverers(request.platform, request.location)
+            };
             if !inner.is_empty() {
                 let pick = rng.random_range(0..inner.len());
                 return Decision::Inner {
@@ -126,6 +136,7 @@ impl OnlineMatcher for RamCom {
         let outer_decision = self.try_outer(world, request, rng);
         if !outer_decision.is_served() && self.config.fallback_to_inner {
             // Extension (off by default): last-resort inner assignment.
+            let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
             if let Some(w) = world.nearest_inner_coverer(request.platform, request.location) {
                 return Decision::Inner { worker: w.id };
             }

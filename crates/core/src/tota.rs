@@ -28,6 +28,7 @@ impl OnlineMatcher for TotaGreedy {
     fn begin(&mut self, _info: &StreamInfo, _rng: &mut StdRng) {}
 
     fn decide(&mut self, world: &World, request: &RequestSpec, _rng: &mut StdRng) -> Decision {
+        let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
         match world.nearest_inner_coverer(request.platform, request.location) {
             Some(w) => Decision::Inner { worker: w.id },
             None => Decision::Reject {
@@ -71,6 +72,7 @@ impl OnlineMatcher for GreedyRt {
                 was_cooperative_offer: false,
             };
         }
+        let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
         match world.nearest_inner_coverer(request.platform, request.location) {
             Some(w) => Decision::Inner { worker: w.id },
             None => Decision::Reject {

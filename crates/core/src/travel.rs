@@ -57,7 +57,10 @@ impl OnlineMatcher for RouteAwareCom {
         let cap = self.pickup_cap_km;
 
         // Inner first, nearest within the cap.
-        let inner = world.inner_coverers(request.platform, request.location);
+        let inner = {
+            let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
+            world.inner_coverers(request.platform, request.location)
+        };
         if let Some(w) = inner
             .iter()
             .find(|w| metric.distance(w.location, request.location) <= cap)
@@ -66,11 +69,14 @@ impl OnlineMatcher for RouteAwareCom {
         }
 
         // Outer candidates within the cap (nearest-first already).
-        let outer: Vec<_> = world
-            .outer_coverers(request.platform, request.location)
-            .into_iter()
-            .filter(|(_, w)| metric.distance(w.location, request.location) <= cap)
-            .collect();
+        let outer: Vec<_> = {
+            let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
+            world
+                .outer_coverers(request.platform, request.location)
+                .into_iter()
+                .filter(|(_, w)| metric.distance(w.location, request.location) <= cap)
+                .collect()
+        };
         if outer.is_empty() {
             return Decision::Reject {
                 was_cooperative_offer: false,
@@ -81,13 +87,17 @@ impl OnlineMatcher for RouteAwareCom {
             .iter()
             .map(|(_, w)| &world.worker(w.id).history)
             .collect();
-        let estimator = MinPaymentEstimator::new(self.config.monte_carlo);
-        let payment = estimator.estimate(request.value, &histories, rng);
+        let payment = {
+            let _span = com_obs::span(com_obs::PHASE_PRICING);
+            let estimator = MinPaymentEstimator::new(self.config.monte_carlo);
+            estimator.estimate(request.value, &histories, rng)
+        };
         if payment > request.value {
             return Decision::Reject {
                 was_cooperative_offer: true,
             };
         }
+        let _span = com_obs::span(com_obs::PHASE_OFFER);
         for ((platform, idle), history) in outer.iter().zip(&histories) {
             if bernoulli(rng, history.acceptance_prob(payment)) {
                 return Decision::Outer {

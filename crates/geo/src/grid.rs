@@ -169,8 +169,14 @@ impl GridIndex {
         self.cells[cell].iter().find(|e| e.id == id).copied()
     }
 
-    /// Visit every cell whose box intersects the circle `(center, radius)`.
-    fn for_cells_in_circle<F: FnMut(&[GridEntry])>(&self, center: Point, radius: Km, mut f: F) {
+    /// Visit every cell whose box intersects the circle `(center, radius)`;
+    /// returns the number of cells visited (telemetry).
+    fn for_cells_in_circle<F: FnMut(&[GridEntry])>(
+        &self,
+        center: Point,
+        radius: Km,
+        mut f: F,
+    ) -> usize {
         let r = radius.max(0.0);
         let lo = Point::new(center.x - r, center.y - r);
         let hi = Point::new(center.x + r, center.y + r);
@@ -181,6 +187,7 @@ impl GridIndex {
                 f(&self.cells[cy * self.cols + cx]);
             }
         }
+        (cy1 - cy0 + 1) * (cx1 - cx0 + 1)
     }
 
     /// All items whose *own* service circle covers `point` — the worker-side
@@ -188,13 +195,15 @@ impl GridIndex {
     /// hot loops can reuse the buffer.
     pub fn coverers_into(&self, point: Point, out: &mut Vec<GridEntry>) {
         out.clear();
-        self.for_cells_in_circle(point, self.max_radius, |bucket| {
+        let cells = self.for_cells_in_circle(point, self.max_radius, |bucket| {
             for e in bucket {
                 if e.location.covers(point, e.radius) {
                     out.push(*e);
                 }
             }
         });
+        com_obs::counter_add("grid.cells_scanned", cells as u64);
+        com_obs::counter_add("grid.candidates", out.len() as u64);
     }
 
     /// Allocating convenience wrapper around [`GridIndex::coverers_into`].
@@ -208,13 +217,15 @@ impl GridIndex {
     /// appended to `out` (cleared first).
     pub fn within_into(&self, point: Point, radius: Km, out: &mut Vec<GridEntry>) {
         out.clear();
-        self.for_cells_in_circle(point, radius, |bucket| {
+        let cells = self.for_cells_in_circle(point, radius, |bucket| {
             for e in bucket {
                 if point.covers(e.location, radius) {
                     out.push(*e);
                 }
             }
         });
+        com_obs::counter_add("grid.cells_scanned", cells as u64);
+        com_obs::counter_add("grid.candidates", out.len() as u64);
     }
 
     /// Allocating convenience wrapper around [`GridIndex::within_into`].
@@ -230,9 +241,11 @@ impl GridIndex {
     /// system.
     pub fn nearest_coverer(&self, point: Point) -> Option<GridEntry> {
         let mut best: Option<(f64, GridEntry)> = None;
-        self.for_cells_in_circle(point, self.max_radius, |bucket| {
+        let mut candidates = 0u64;
+        let cells = self.for_cells_in_circle(point, self.max_radius, |bucket| {
             for e in bucket {
                 if e.location.covers(point, e.radius) {
+                    candidates += 1;
                     let d = e.location.distance_sq(point);
                     let better = match best {
                         None => true,
@@ -244,6 +257,8 @@ impl GridIndex {
                 }
             }
         });
+        com_obs::counter_add("grid.cells_scanned", cells as u64);
+        com_obs::counter_add("grid.candidates", candidates);
         best.map(|(_, e)| e)
     }
 

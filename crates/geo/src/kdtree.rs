@@ -166,12 +166,16 @@ impl KdTree {
         Some(idx)
     }
 
-    fn visit_within<F: FnMut(&GridEntry)>(&self, point: Point, reach: Km, f: &mut F) {
+    /// Returns the number of tree nodes + overflow entries visited
+    /// (telemetry).
+    fn visit_within<F: FnMut(&GridEntry)>(&self, point: Point, reach: Km, f: &mut F) -> usize {
+        let mut visited = 0usize;
         let mut stack = Vec::with_capacity(32);
         if let Some(r) = self.root {
             stack.push(r);
         }
         while let Some(i) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[i];
             let e = &node.entry;
             if !node.dead {
@@ -195,19 +199,23 @@ impl KdTree {
         }
         for id in &self.overflow {
             if let Some(e) = self.alive.get(id) {
+                visited += 1;
                 f(e);
             }
         }
+        visited
     }
 
     /// All items whose own circle covers `point`, into `out` (cleared).
     pub fn coverers_into(&self, point: Point, out: &mut Vec<GridEntry>) {
         out.clear();
-        self.visit_within(point, self.max_radius, &mut |e| {
+        let visited = self.visit_within(point, self.max_radius, &mut |e| {
             if e.location.covers(point, e.radius) {
                 out.push(*e);
             }
         });
+        com_obs::counter_add("kdtree.nodes_visited", visited as u64);
+        com_obs::counter_add("kdtree.candidates", out.len() as u64);
     }
 
     /// Allocating wrapper around [`KdTree::coverers_into`].
@@ -220,8 +228,10 @@ impl KdTree {
     /// The nearest item whose circle covers `point` (ties by id).
     pub fn nearest_coverer(&self, point: Point) -> Option<GridEntry> {
         let mut best: Option<(f64, GridEntry)> = None;
-        self.visit_within(point, self.max_radius, &mut |e| {
+        let mut candidates = 0u64;
+        let visited = self.visit_within(point, self.max_radius, &mut |e| {
             if e.location.covers(point, e.radius) {
+                candidates += 1;
                 let d = e.location.distance_sq(point);
                 let better = match best {
                     None => true,
@@ -232,6 +242,8 @@ impl KdTree {
                 }
             }
         });
+        com_obs::counter_add("kdtree.nodes_visited", visited as u64);
+        com_obs::counter_add("kdtree.candidates", candidates);
         best.map(|(_, e)| e)
     }
 }

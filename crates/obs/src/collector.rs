@@ -1,0 +1,413 @@
+//! Thread-local telemetry collector: spans, counters, gauges, and an
+//! optional JSONL trace sink.
+//!
+//! Everything is off by default. Until [`install`] (or
+//! [`install_with_trace`]) is called, every instrumentation entry point —
+//! [`span`], [`counter_add`], [`gauge_set`] — reduces to one thread-local
+//! `Cell<bool>` read and returns immediately, with no allocation and no
+//! clock read, so instrumented hot paths cost nothing in normal runs.
+//!
+//! The collector is thread-local on purpose: the replay engine is
+//! single-threaded per run, and keeping the state thread-local means no
+//! locks on the hot path and no cross-run bleed when tests run in
+//! parallel threads.
+
+use std::cell::{Cell, RefCell};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::telemetry::{CounterStat, GaugeStat, PhaseStats, RunTelemetry};
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+struct Gauge {
+    last: f64,
+    max: f64,
+}
+
+struct Collector {
+    /// Set by [`begin_run`]; tags trace lines and the telemetry report.
+    algorithm: String,
+    /// Epoch for relative `start_ns` timestamps in the trace.
+    epoch: Instant,
+    /// Current span nesting depth (spans on the stack right now).
+    depth: u32,
+    /// Phase name -> latency histogram. Linear scan: the phase set is
+    /// tiny (single digits) and `&'static str` keys compare by pointer
+    /// first in practice.
+    hists: Vec<(&'static str, Histogram)>,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, Gauge)>,
+    trace: Option<BufWriter<File>>,
+}
+
+impl Collector {
+    fn new(trace: Option<BufWriter<File>>) -> Self {
+        Collector {
+            algorithm: String::new(),
+            epoch: Instant::now(),
+            depth: 0,
+            hists: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            trace,
+        }
+    }
+
+    fn hist_mut(&mut self, phase: &'static str) -> &mut Histogram {
+        if let Some(i) = self.hists.iter().position(|(name, _)| *name == phase) {
+            return &mut self.hists[i].1;
+        }
+        self.hists.push((phase, Histogram::new()));
+        &mut self.hists.last_mut().expect("just pushed").1
+    }
+
+    fn drain(&mut self) -> RunTelemetry {
+        let mut phases: Vec<PhaseStats> = self
+            .hists
+            .drain(..)
+            .map(|(phase, h)| PhaseStats {
+                phase: phase.to_string(),
+                count: h.count(),
+                mean_ns: h.mean(),
+                p50_ns: h.p50(),
+                p90_ns: h.p90(),
+                p99_ns: h.p99(),
+                max_ns: h.max(),
+                total_ns: h.total(),
+            })
+            .collect();
+        phases.sort_by(|a, b| a.phase.cmp(&b.phase));
+        let mut counters: Vec<CounterStat> = self
+            .counters
+            .drain(..)
+            .map(|(name, value)| CounterStat {
+                name: name.to_string(),
+                value,
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeStat> = self
+            .gauges
+            .drain(..)
+            .map(|(name, g)| GaugeStat {
+                name: name.to_string(),
+                last: g.last,
+                max: g.max,
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        RunTelemetry {
+            algorithm: std::mem::take(&mut self.algorithm),
+            phases,
+            counters,
+            gauges,
+        }
+    }
+}
+
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    COLLECTOR.with(|slot| slot.borrow_mut().as_mut().map(f))
+}
+
+/// Turn collection on for this thread (no trace file).
+pub fn install() {
+    COLLECTOR.with(|slot| *slot.borrow_mut() = Some(Collector::new(None)));
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Turn collection on and stream span/counter events to `path` as JSON
+/// Lines (one object per line).
+pub fn install_with_trace(path: &Path) -> std::io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    COLLECTOR.with(|slot| *slot.borrow_mut() = Some(Collector::new(Some(file))));
+    ACTIVE.with(|a| a.set(true));
+    Ok(())
+}
+
+/// Turn collection off and drop any buffered state (flushes the trace).
+pub fn uninstall() {
+    ACTIVE.with(|a| a.set(false));
+    COLLECTOR.with(|slot| {
+        if let Some(mut c) = slot.borrow_mut().take() {
+            if let Some(w) = c.trace.as_mut() {
+                let _ = w.flush();
+            }
+        }
+    });
+}
+
+/// Whether a collector is installed on this thread.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Mark the start of one engine run; subsequent spans/counters accumulate
+/// into the report returned by [`end_run`].
+pub fn begin_run(algorithm: &str) {
+    with_collector(|c| {
+        c.algorithm.clear();
+        c.algorithm.push_str(algorithm);
+        c.epoch = Instant::now();
+        c.depth = 0;
+        c.hists.clear();
+        c.counters.clear();
+        c.gauges.clear();
+    });
+}
+
+/// Finish the current run and return its telemetry (None when the
+/// collector is not installed).
+pub fn end_run() -> Option<RunTelemetry> {
+    let report = with_collector(|c| {
+        let report = c.drain();
+        if let Some(w) = c.trace.as_mut() {
+            let _ = w.flush();
+        }
+        report
+    });
+    report
+}
+
+/// RAII span: times the region between construction and drop and records
+/// the duration into the phase's histogram (and the trace, if any).
+/// A no-op carrying no state when the collector is inactive.
+pub struct SpanGuard {
+    phase: &'static str,
+    start: Option<Instant>,
+}
+
+#[must_use = "a span measures the region up to its drop; binding it to `_` drops immediately"]
+#[inline]
+pub fn span(phase: &'static str) -> SpanGuard {
+    if !is_active() {
+        return SpanGuard { phase, start: None };
+    }
+    with_collector(|c| c.depth += 1);
+    SpanGuard {
+        phase,
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let phase = self.phase;
+        with_collector(|c| {
+            c.depth = c.depth.saturating_sub(1);
+            let depth = c.depth;
+            c.hist_mut(phase).record(dur_ns);
+            if c.trace.is_some() {
+                let start_ns =
+                    u64::try_from(start.duration_since(c.epoch).as_nanos()).unwrap_or(u64::MAX);
+                let algorithm = std::mem::take(&mut c.algorithm);
+                if let Some(w) = c.trace.as_mut() {
+                    let _ = writeln!(
+                        w,
+                        "{{\"type\":\"span\",\"algo\":\"{}\",\"phase\":\"{}\",\"depth\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                        json_escape(&algorithm),
+                        json_escape(phase),
+                        depth,
+                        start_ns,
+                        dur_ns,
+                    );
+                }
+                c.algorithm = algorithm;
+            }
+        });
+    }
+}
+
+/// Bump a named counter (creates it at zero on first use).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !is_active() {
+        return;
+    }
+    with_collector(|c| {
+        if let Some(i) = c.counters.iter().position(|(n, _)| *n == name) {
+            c.counters[i].1 += delta;
+        } else {
+            c.counters.push((name, delta));
+        }
+    });
+}
+
+/// Record the current value of a named gauge; the report keeps the last
+/// and the maximum observed value.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !is_active() {
+        return;
+    }
+    with_collector(|c| {
+        if let Some(i) = c.gauges.iter().position(|(n, _)| *n == name) {
+            let g = &mut c.gauges[i].1;
+            g.last = value;
+            g.max = g.max.max(value);
+        } else {
+            c.gauges.push((
+                name,
+                Gauge {
+                    last: value,
+                    max: value,
+                },
+            ));
+        }
+    });
+}
+
+/// Minimal JSON string escaping for trace lines (phase/algorithm names
+/// are plain identifiers in practice; this keeps the sink robust anyway).
+fn json_escape(s: &str) -> String {
+    if s.chars()
+        .all(|c| c != '"' && c != '\\' && (c as u32) >= 0x20)
+    {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default_and_spans_are_noops() {
+        assert!(!is_active());
+        {
+            let _g = span("phase-a");
+        }
+        counter_add("c", 5);
+        gauge_set("g", 1.0);
+        assert!(end_run().is_none());
+    }
+
+    #[test]
+    fn spans_counters_gauges_accumulate_per_run() {
+        install();
+        begin_run("test-algo");
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::hint::black_box(0u64);
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        counter_add("widgets", 3);
+        counter_add("widgets", 4);
+        gauge_set("depth", 2.0);
+        gauge_set("depth", 1.0);
+        let t = end_run().expect("collector installed");
+        uninstall();
+
+        assert_eq!(t.algorithm, "test-algo");
+        let inner = t.phases.iter().find(|p| p.phase == "inner").unwrap();
+        assert_eq!(inner.count, 2);
+        let outer = t.phases.iter().find(|p| p.phase == "outer").unwrap();
+        assert_eq!(outer.count, 1);
+        // The outer span strictly contains both inner spans.
+        assert!(outer.max_ns >= inner.max_ns);
+        assert_eq!(t.counters.len(), 1);
+        assert_eq!(t.counters[0].name, "widgets");
+        assert_eq!(t.counters[0].value, 7);
+        assert_eq!(t.gauges.len(), 1);
+        assert_eq!(t.gauges[0].last, 1.0);
+        assert_eq!(t.gauges[0].max, 2.0);
+    }
+
+    #[test]
+    fn begin_run_resets_state_between_runs() {
+        install();
+        begin_run("first");
+        counter_add("c", 10);
+        {
+            let _s = span("p");
+        }
+        let first = end_run().unwrap();
+        assert_eq!(first.counters[0].value, 10);
+
+        begin_run("second");
+        counter_add("c", 1);
+        let second = end_run().unwrap();
+        uninstall();
+        assert_eq!(second.algorithm, "second");
+        assert_eq!(second.counters[0].value, 1);
+        assert!(second.phases.is_empty());
+    }
+
+    #[test]
+    fn nesting_depth_recovers_after_drops() {
+        install();
+        begin_run("nesting");
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                {
+                    let _c = span("c");
+                }
+            }
+        }
+        {
+            let _a = span("a");
+        }
+        let t = end_run().unwrap();
+        uninstall();
+        assert_eq!(t.phases.iter().find(|p| p.phase == "a").unwrap().count, 2);
+        assert_eq!(t.phases.iter().find(|p| p.phase == "b").unwrap().count, 1);
+    }
+
+    #[test]
+    fn trace_file_gets_one_json_object_per_span() {
+        let dir = std::env::temp_dir().join("com-obs-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        install_with_trace(&path).unwrap();
+        begin_run("traced");
+        {
+            let _s = span("alpha");
+        }
+        {
+            let _s = span("beta");
+        }
+        let _ = end_run().unwrap();
+        uninstall();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"phase\":\"alpha\""));
+        assert!(lines[1].contains("\"phase\":\"beta\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"algo\":\"traced\""));
+            assert!(line.contains("\"dur_ns\":"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,53 @@
+//! # com-obs — runtime observability for the replay engine
+//!
+//! Zero-dependency structured tracing, streaming latency histograms, and
+//! named counters/gauges, designed so instrumentation can live permanently
+//! on the engine's hot paths:
+//!
+//! * **Off by default.** Until [`install`] is called, every entry point is
+//!   a thread-local flag check — no allocation, no clock read, no locks.
+//!   Instrumented code behaves bit-identically with the collector on or
+//!   off (spans never touch the RNG or any decision state).
+//! * **Fixed memory.** Latencies stream into log-bucketed histograms
+//!   ([`Histogram`]): ~6 KiB per phase regardless of sample count, with
+//!   exact min/max/mean and ~6%-accurate p50/p90/p99.
+//! * **Per-run reports.** The engine brackets each replay with
+//!   [`begin_run`]/[`end_run`] and attaches the resulting
+//!   [`RunTelemetry`] to its `RunResult`.
+//! * **Optional JSONL trace.** [`install_with_trace`] streams every span
+//!   as one JSON object per line (`type`, `algo`, `phase`, `depth`,
+//!   `start_ns`, `dur_ns`) for offline analysis.
+//!
+//! ```
+//! com_obs::install();
+//! com_obs::begin_run("demcom");
+//! {
+//!     let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
+//!     // ... range query ...
+//! }
+//! com_obs::counter_add("grid.cells_scanned", 9);
+//! let report = com_obs::end_run().unwrap();
+//! assert_eq!(report.phase(com_obs::PHASE_CANDIDATES).unwrap().count, 1);
+//! com_obs::uninstall();
+//! ```
+
+mod collector;
+mod histogram;
+mod telemetry;
+
+pub use collector::{
+    begin_run, counter_add, end_run, gauge_set, install, install_with_trace, is_active, span,
+    uninstall, SpanGuard,
+};
+pub use histogram::{Histogram, MAX_TRACKABLE};
+pub use telemetry::{CounterStat, GaugeStat, PhaseStats, RunTelemetry};
+
+/// One full request decision in the engine (outermost span).
+pub const PHASE_DECISION: &str = "decision";
+/// Spatial candidate lookup (grid/k-d range and nearest queries).
+pub const PHASE_CANDIDATES: &str = "candidate-search";
+/// Payment computation: acceptance-probability lookups, expected-revenue
+/// maximisation, Monte Carlo estimation.
+pub const PHASE_PRICING: &str = "pricing";
+/// Cross-platform offer loop (Bernoulli acceptance draws, assignment).
+pub const PHASE_OFFER: &str = "offer";

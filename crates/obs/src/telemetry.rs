@@ -1,0 +1,62 @@
+//! Per-run telemetry report: what [`crate::end_run`] hands back to the
+//! engine for attachment to its `RunResult`.
+
+/// Latency summary of one instrumented phase within a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    pub phase: String,
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Exact running mean duration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median, bucket-quantized (<= ~6% relative error).
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    /// Exact maximum duration.
+    pub max_ns: u64,
+    /// Exact sum of all span durations.
+    pub total_ns: u128,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterStat {
+    pub name: String,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeStat {
+    pub name: String,
+    /// Most recently set value.
+    pub last: f64,
+    /// Maximum value observed during the run.
+    pub max: f64,
+}
+
+/// Everything the collector gathered over one engine run. Phase, counter,
+/// and gauge lists are sorted by name so reports are deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    pub algorithm: String,
+    pub phases: Vec<PhaseStats>,
+    pub counters: Vec<CounterStat>,
+    pub gauges: Vec<GaugeStat>,
+}
+
+impl RunTelemetry {
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<&GaugeStat> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+}

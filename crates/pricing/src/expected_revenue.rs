@@ -78,7 +78,9 @@ pub fn max_expected_revenue<M: AcceptanceModel + ?Sized>(
     }
 
     let mut best: Option<PricingOutcome> = None;
+    let mut evaluated = 0u64;
     let mut consider = |payment: Value| {
+        evaluated += 1;
         if payment <= 0.0 || payment > request_value {
             return;
         }
@@ -136,6 +138,7 @@ pub fn max_expected_revenue<M: AcceptanceModel + ?Sized>(
         }
     }
 
+    com_obs::counter_add("pricing.candidates_evaluated", evaluated);
     best
 }
 

@@ -90,10 +90,12 @@ impl MinPaymentEstimator {
         );
         let p = &self.params;
         let n_s = p.instances();
+        com_obs::counter_add("mc.estimates", 1);
         if workers.is_empty() {
             return request_value + p.epsilon;
         }
 
+        com_obs::counter_add("mc.samples", n_s as u64);
         let mut sum = 0.0;
         for _ in 0..n_s {
             sum += self.sample_instance(request_value, workers, rng);
@@ -119,7 +121,9 @@ impl MinPaymentEstimator {
         let mut v_l = 0.0f64;
         let mut v_h = request_value;
         let mut v_m = 0.5 * v_h;
+        let mut iters = 0u64;
         while v_m - v_l > p.xi * request_value {
+            iters += 1;
             if any_accepts(workers, v_m, rng) {
                 v_h = v_m;
             } else {
@@ -127,6 +131,7 @@ impl MinPaymentEstimator {
             }
             v_m = 0.5 * (v_h - v_l) + v_l;
         }
+        com_obs::counter_add("mc.dichotomy_iters", iters);
         v_m
     }
 }

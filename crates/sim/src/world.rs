@@ -191,6 +191,7 @@ impl World {
             self.departures.schedule(worker.spec.arrival + shift, id);
         }
         self.waiting[platform.index()].add(entry);
+        self.record_occupancy_gauges();
     }
 
     /// Idle workers of platform `p` covering `point` (the candidate
@@ -298,7 +299,22 @@ impl World {
         if self.config.service.reentry {
             self.reentries.schedule(until, worker_id);
         }
+        self.record_occupancy_gauges();
         until
+    }
+
+    /// Publish occupancy gauges to the telemetry collector (idle pool
+    /// size, deepest waiting list, busy workers pending re-entry). A
+    /// single flag check when no collector is installed.
+    fn record_occupancy_gauges(&self) {
+        if !com_obs::is_active() {
+            return;
+        }
+        let idle: usize = self.waiting.iter().map(|w| w.len()).sum();
+        let deepest = self.waiting.iter().map(|w| w.len()).max().unwrap_or(0);
+        com_obs::gauge_set("world.idle_workers", idle as f64);
+        com_obs::gauge_set("world.waiting_list_depth", deepest as f64);
+        com_obs::gauge_set("world.busy_workers", self.reentries.len() as f64);
     }
 
     /// Approximate heap footprint in bytes (memory metric): workers,

@@ -1,0 +1,228 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Keeps the API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `sample_size`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`) but with a simple
+//! timing loop: each benchmark runs a short warm-up, then `sample_size`
+//! timed samples, and prints mean/min per-iteration time. No statistics
+//! machinery, plots, or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target per-sample wall time; iteration counts are calibrated to it.
+const SAMPLE_TARGET: Duration = Duration::from_millis(50);
+const WARM_UP_TARGET: Duration = Duration::from_millis(100);
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Configure-then-return stubs so `Criterion::default().configure(...)`
+    /// chains used by generated harnesses keep compiling.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_benchmark(self.sample_size, &mut f);
+        println!("  {}/{}: {report}", self.name, id);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let report = run_benchmark(self.sample_size, &mut |b| f(b, input));
+        println!("  {}/{}: {report}", self.name, id);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` runs the routine and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mean {:?}/iter (min {:?}/iter)", self.mean, self.min)
+    }
+}
+
+fn time_iters(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark(sample_size: usize, f: &mut impl FnMut(&mut Bencher)) -> Report {
+    // Warm up and calibrate the per-sample iteration count.
+    let mut iters: u64 = 1;
+    let mut spent = Duration::ZERO;
+    let mut per_iter = Duration::from_nanos(1);
+    while spent < WARM_UP_TARGET {
+        let t = time_iters(f, iters);
+        spent += t;
+        per_iter = (t / u32::try_from(iters).unwrap_or(u32::MAX)).max(Duration::from_nanos(1));
+        if t < SAMPLE_TARGET / 2 {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    let per_sample =
+        (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut total_iters: u64 = 0;
+    for _ in 0..sample_size {
+        let t = time_iters(f, per_sample);
+        total += t;
+        total_iters += per_sample;
+        min = min.min(t / u32::try_from(per_sample).unwrap_or(u32::MAX));
+    }
+    Report {
+        mean: total / u32::try_from(total_iters.max(1)).unwrap_or(u32::MAX),
+        min,
+    }
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

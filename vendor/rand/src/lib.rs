@@ -1,0 +1,218 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to the crates
+//! registry, so the workspace vendors a minimal, dependency-free
+//! implementation of the `rand 0.9` API surface it actually uses:
+//!
+//! * [`rngs::StdRng`] — a ChaCha12 generator (the same core algorithm the
+//!   real `StdRng` wraps), seedable via [`SeedableRng::seed_from_u64`]
+//!   with the same SplitMix64 seed expansion as `rand_core`.
+//! * [`Rng::random_range`] over integer and float ranges (Lemire widening
+//!   multiplication for integers, 53-bit mantissa scaling for floats).
+//! * [`Rng::random`], [`Rng::random_bool`], and [`seq::SliceRandom`]'s
+//!   Fisher–Yates [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is fully deterministic per seed, which is all the
+//! simulator requires (every algorithm-visible draw flows through one
+//! seeded `StdRng`). It is **not** intended for cryptographic use.
+
+pub mod rngs;
+pub mod seq;
+
+/// The core random source: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: RngCore + ?Sized> RngCore for &mut T {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64 (the `rand_core`
+    /// algorithm, so seeds mean the same thing they would upstream).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod uniform;
+pub use uniform::SampleRange;
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform draw from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A draw of a [`Random`]-implementing type over its full domain
+    /// (`f64`/`f32` are uniform in `[0, 1)`).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Compare against a 64-bit fixed-point threshold so p = 1.0 is
+        // always true and p = 0.0 always false.
+        if p >= 1.0 {
+            self.next_u64();
+            return true;
+        }
+        let threshold = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < threshold
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types drawable uniformly over their natural domain.
+pub trait Random: Sized {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&v));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_domain_uniformly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            let v: usize = rng.random_range(0..6);
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+        // Inclusive ranges include the upper bound.
+        let mut saw_max = false;
+        for _ in 0..1_000 {
+            if rng.random_range(1..=4u64) == 4 {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max);
+    }
+
+    #[test]
+    fn random_bool_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 produced {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,170 @@
+//! Uniform sampling from ranges.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire's widening-multiplication method: an unbiased draw from
+/// `[0, range)` for `range >= 1`.
+#[inline]
+fn lemire_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range >= 1);
+    if range == 0 {
+        // Full 64-bit domain (only reachable through `0..=u64::MAX`).
+        return rng.next_u64();
+    }
+    let threshold = range.wrapping_neg() % range;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (range as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(lemire_u64(rng, span) as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                start.wrapping_add(lemire_u64(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(lemire_u64(rng, span) as $ty)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = ((end as i64).wrapping_sub(start as i64) as u64).wrapping_add(1);
+                start.wrapping_add(lemire_u64(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end && (self.end - self.start).is_finite(),
+            "cannot sample from empty or non-finite range"
+        );
+        let unit: f64 = crate::Random::random(rng); // [0, 1)
+        let value = self.start + unit * (self.end - self.start);
+        if value >= self.end {
+            f64::from_bits(self.end.to_bits() - 1).max(self.start)
+        } else {
+            value
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(
+            self.start < self.end && (self.end - self.start).is_finite(),
+            "cannot sample from empty or non-finite range"
+        );
+        let unit: f32 = crate::Random::random(rng); // [0, 1)
+        let value = self.start + unit * (self.end - self.start);
+        if value >= self.end {
+            f32::from_bits(self.end.to_bits() - 1).max(self.start)
+        } else {
+            value
+        }
+    }
+}
+
+macro_rules! impl_float_inclusive {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(
+                    start <= end && (end - start).is_finite(),
+                    "cannot sample from empty or non-finite range"
+                );
+                if start == end {
+                    return start;
+                }
+                // [0, 1) scaled over the span; the end point has measure
+                // zero so half-open sampling serves inclusive semantics.
+                let unit: $ty = crate::Random::random(rng);
+                (start + unit * (end - start)).min(end)
+            }
+        }
+    )*};
+}
+
+impl_float_inclusive!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn signed_ranges_include_negatives() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_negative = false;
+        for _ in 0..1_000 {
+            let v: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.random_range(7..8u32), 7);
+        assert_eq!(rng.random_range(7..=7u64), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u32 = rng.random_range(5..5);
+    }
+}

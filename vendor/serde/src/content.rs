@@ -1,0 +1,44 @@
+//! The value tree every type (de)serializes through.
+
+/// A format-independent value: the greatest common divisor of JSON and the
+/// Rust data model this workspace round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// Non-negative integers (JSON numbers without sign or fraction).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order. Keys are arbitrary content;
+    /// JSON rendering stringifies scalar keys the way serde_json does for
+    /// integer-keyed maps.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Map lookup by string key.
+    pub fn find<'a>(map: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+        map.iter()
+            .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+            .map(|(_, v)| v)
+    }
+
+    /// Interpret as f64 when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Free-function form of [`Content::find`] (the derive macro calls this).
+pub fn find<'a>(map: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    Content::find(map, key)
+}

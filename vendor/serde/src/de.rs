@@ -1,0 +1,233 @@
+//! Deserialization: [`Content`] trees → Rust values.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+use crate::content::Content;
+
+/// Deserialization error: a plain message (path context is appended as the
+/// error bubbles up through containers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+
+    pub fn missing_field(field: &str) -> Self {
+        Error {
+            message: format!("missing field `{field}`"),
+        }
+    }
+
+    pub fn unexpected(expected: &str, got: &Content) -> Self {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::U64(_) | Content::I64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        };
+        Error {
+            message: format!("expected {expected}, found {kind}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion out of the [`Content`] value tree.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, Error>;
+
+    /// What a missing struct field deserializes to. `Option` yields
+    /// `None`; everything else errors (match upstream: absent fields are
+    /// only legal when optional or defaulted).
+    fn when_missing(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+/// Inference-friendly helper used by the derive macro for absent fields.
+pub fn when_missing<T: Deserialize>(field: &str) -> Result<T, Error> {
+    T::when_missing(field)
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::U64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($ty)))),
+                    Content::I64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($ty)))),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $ty),
+                    // Integer-keyed maps arrive from JSON with string keys.
+                    Content::Str(s) => s.parse::<$ty>()
+                        .map_err(|_| Error::custom(format!("cannot parse {s:?} as {}", stringify!($ty)))),
+                    other => Err(Error::unexpected("an integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::F64(v) => Ok(*v as $ty),
+                    Content::U64(v) => Ok(*v as $ty),
+                    Content::I64(v) => Ok(*v as $ty),
+                    Content::Str(s) => s.parse::<$ty>()
+                        .map_err(|_| Error::custom(format!("cannot parse {s:?} as {}", stringify!($ty)))),
+                    other => Err(Error::unexpected("a number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("a boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("a string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::unexpected("a single-character string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(Error::unexpected("null", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn when_missing(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::unexpected("a sequence", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        v.try_into()
+            .map_err(|_| Error::custom(format!("expected an array of length {N}")))
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("a map", other)),
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("a map", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($len:literal: $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::unexpected(
+                        concat!("a sequence of length ", $len), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (1: A.0)
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+    (5: A.0, B.1, C.2, D.3, E.4)
+    (6: A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors a minimal serialization framework with the same *surface* as
+//! serde — `Serialize`/`Deserialize` traits plus `#[derive(Serialize,
+//! Deserialize)]` macros — built on a concrete value tree ([`content::
+//! Content`]) instead of serde's visitor architecture. `serde_json` (also
+//! vendored) renders that tree to JSON and parses it back.
+//!
+//! Supported shapes (everything this workspace uses):
+//!
+//! * structs with named fields, tuple structs (newtype flattening), unit
+//!   structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   serde's default representation);
+//! * `#[serde(default)]`, `#[serde(default = "path")]`, and
+//!   `#[serde(skip_serializing_if = "path")]` field attributes;
+//! * the std types used here: integers, floats, `bool`, `String`,
+//!   `Option`, `Vec`, slices, arrays, tuples, `HashMap`/`BTreeMap`
+//!   (scalar keys become JSON object keys, as upstream serde_json does).
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use content::Content;
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+
+// The derive macros, re-exported so `use serde::{Serialize, Deserialize}`
+// brings in both the traits and the macros, exactly as upstream.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,558 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `::serde::ser::Serialize` / `::serde::de::Deserialize` impls
+//! against the vendored value-tree serde. No `syn`/`quote`: the input
+//! `TokenStream` is walked directly (the shapes this workspace derives on
+//! are plain structs and enums without generics), and the impl is emitted
+//! as a string and re-parsed.
+//!
+//! Supported field attributes: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(skip_serializing_if = "path")]`.
+//! Anything else panics at expansion time rather than silently changing
+//! the wire format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct FieldAttrs {
+    default: Option<DefaultKind>,
+    skip_serializing_if: Option<String>,
+}
+
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn is_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consume leading attributes. Field/variant `#[serde(...)]` attributes are
+/// folded into the returned set; doc comments and everything else are
+/// skipped.
+fn collect_attrs(c: &mut Cursor) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(c.peek(), Some(t) if is_punct(t, '#')) {
+        c.next();
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {
+                match inner.next() {
+                    Some(TokenTree::Group(list)) if list.delimiter() == Delimiter::Parenthesis => {
+                        parse_serde_list(list.stream(), &mut attrs);
+                    }
+                    other => panic!("serde_derive: malformed #[serde] attribute: {other:?}"),
+                }
+            }
+            _ => {} // doc comments, cfg, other derives' helpers: ignore
+        }
+    }
+    attrs
+}
+
+fn parse_serde_list(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut c = Cursor::new(stream);
+    while let Some(t) = c.next() {
+        let TokenTree::Ident(id) = t else {
+            continue; // separating comma
+        };
+        let key = id.to_string();
+        let mut value: Option<String> = None;
+        if c.eat_punct('=') {
+            match c.next() {
+                Some(TokenTree::Literal(lit)) => value = Some(strip_quotes(&lit.to_string())),
+                other => panic!("serde_derive: expected string literal after `{key} =`, found {other:?}"),
+            }
+        }
+        match (key.as_str(), value) {
+            ("default", None) => attrs.default = Some(DefaultKind::Std),
+            ("default", Some(path)) => attrs.default = Some(DefaultKind::Path(path)),
+            ("skip_serializing_if", Some(path)) => attrs.skip_serializing_if = Some(path),
+            (other, _) => panic!(
+                "serde_derive (vendored): unsupported serde attribute `{other}` — \
+                 supported: default, default = \"path\", skip_serializing_if = \"path\""
+            ),
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_vis(c: &mut Cursor) {
+    if matches!(c.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        c.next();
+        // `pub(crate)` / `pub(super)` restriction
+        if matches!(c.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            c.next();
+        }
+    }
+}
+
+/// Skip a type (everything up to the next top-level `,`), tracking angle
+/// bracket depth so generic arguments' commas are not mistaken for field
+/// separators.
+fn skip_type(c: &mut Cursor) {
+    let mut angle = 0i32;
+    while let Some(t) = c.peek() {
+        if is_punct(t, ',') && angle == 0 {
+            c.next();
+            return;
+        }
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        }
+        c.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = collect_attrs(&mut c);
+        skip_vis(&mut c);
+        let name = c.expect_ident();
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        skip_type(&mut c);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    for t in stream {
+        if is_punct(&t, ',') && angle == 0 {
+            if segment_has_tokens {
+                count += 1;
+            }
+            segment_has_tokens = false;
+            continue;
+        }
+        if is_punct(&t, '<') {
+            angle += 1;
+        } else if is_punct(&t, '>') {
+            angle -= 1;
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _attrs = collect_attrs(&mut c);
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Optional explicit discriminant (`= expr`) is not supported with
+        // data-carrying serde enums; skip tokens up to the separator.
+        while let Some(t) = c.peek() {
+            if is_punct(t, ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    let _ = collect_attrs(&mut c); // container attrs: doc comments etc.
+    skip_vis(&mut c);
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(t) if is_punct(t, '<')) {
+        panic!("serde_derive (vendored): generic types are not supported (`{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(t) if is_punct(t, ';') => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde_derive: unexpected enum body: {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+const CONTENT: &str = "::serde::content::Content";
+
+fn str_content(s: &str) -> String {
+    format!("{CONTENT}::Str(::std::string::String::from(\"{s}\"))")
+}
+
+/// `entries.push(...)` statements serializing named fields reachable via
+/// `prefix` (`&self.name` for structs, bare `name` bindings for enum
+/// struct variants).
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let value = access(&f.name);
+        let push = format!(
+            "__entries.push(({key}, ::serde::ser::Serialize::to_content({value})));\n",
+            key = str_content(&f.name),
+        );
+        match &f.attrs.skip_serializing_if {
+            Some(path) => {
+                out.push_str(&format!("if !{path}({value}) {{ {push} }}\n"));
+            }
+            None => out.push_str(&push),
+        }
+    }
+    out
+}
+
+/// Field initializers (`name: match find(...) {...}`) deserializing named
+/// fields out of a `__entries` slice binding.
+fn de_named_fields(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.attrs.default {
+            Some(DefaultKind::Std) => "::std::default::Default::default()".to_string(),
+            Some(DefaultKind::Path(path)) => format!("{path}()"),
+            None => format!("::serde::de::when_missing(\"{}\")?", f.name),
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::content::find(__entries, \"{name}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::de::Deserialize::from_content(__v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+        ));
+    }
+    out
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize derive
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (name, body) = match &input {
+        Input::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Input::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_mut, non_snake_case)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn to_content(&self) -> {CONTENT} {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+fn ser_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => {
+            let pushes = ser_named_fields(fields, |f| format!("&self.{f}"));
+            format!(
+                "let mut __entries: ::std::vec::Vec<({CONTENT}, {CONTENT})> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 {CONTENT}::Map(__entries)"
+            )
+        }
+        Fields::Tuple(1) => "::serde::ser::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::ser::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("{CONTENT}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => format!("{CONTENT}::Null"),
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag = str_content(vname);
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!("{name}::{vname} => {tag},\n"));
+            }
+            Fields::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(__f0) => {CONTENT}::Map(::std::vec![({tag}, \
+                     ::serde::ser::Serialize::to_content(__f0))]),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds = tuple_bindings(*n);
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::ser::Serialize::to_content({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {CONTENT}::Map(::std::vec![({tag}, \
+                     {CONTENT}::Seq(::std::vec![{items}]))]),\n",
+                    binds = binds.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            Fields::Named(fields) => {
+                let field_names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pushes = ser_named_fields(fields, |f| f.to_string());
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {pat} }} => {{\n\
+                     let mut __entries: ::std::vec::Vec<({CONTENT}, {CONTENT})> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     {CONTENT}::Map(::std::vec![({tag}, {CONTENT}::Map(__entries))])\n\
+                     }},\n",
+                    pat = field_names.join(", "),
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize derive
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (name, body) = match &input {
+        Input::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Input::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_mut, non_snake_case)]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+         fn from_content(__c: &{CONTENT}) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(fields) => {
+            let inits = de_named_fields(fields);
+            format!(
+                "match __c {{\n\
+                 {CONTENT}::Map(__entries) => ::std::result::Result::Ok({name} {{\n{inits}}}),\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::unexpected(\"a map\", __other)),\n\
+                 }}"
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::de::Deserialize::from_content(__c)?))"
+        ),
+        Fields::Tuple(n) => de_tuple_payload(name, *n, "__c"),
+        Fields::Unit => format!(
+            "match __c {{\n\
+             {CONTENT}::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::de::Error::unexpected(\"null\", __other)),\n\
+             }}"
+        ),
+    }
+}
+
+/// `match <payload> { Seq of len n => Ok(Ctor(items...)), ... }`
+fn de_tuple_payload(ctor: &str, n: usize, payload: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::de::Deserialize::from_content(&__items[{i}])?"))
+        .collect();
+    format!(
+        "match {payload} {{\n\
+         {CONTENT}::Seq(__items) if __items.len() == {n} => \
+         ::std::result::Result::Ok({ctor}({items})),\n\
+         __other => ::std::result::Result::Err(::serde::de::Error::unexpected(\
+         \"a sequence of length {n}\", __other)),\n\
+         }}",
+        items = items.join(", "),
+    )
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            Fields::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::de::Deserialize::from_content(__payload)?)),\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let inner = de_tuple_payload(&format!("{name}::{vname}"), *n, "__payload");
+                data_arms.push_str(&format!("\"{vname}\" => {inner},\n"));
+            }
+            Fields::Named(fields) => {
+                let inits = de_named_fields(fields);
+                data_arms.push_str(&format!(
+                    "\"{vname}\" => match __payload {{\n\
+                     {CONTENT}::Map(__entries) => ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n\
+                     __other => ::std::result::Result::Err(::serde::de::Error::unexpected(\"a map\", __other)),\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __c {{\n\
+         {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+         }},\n\
+         {CONTENT}::Map(__entries) if __entries.len() == 1 => match &__entries[0] {{\n\
+         ({CONTENT}::Str(__tag), __payload) => match __tag.as_str() {{\n\
+         {data_arms}\
+         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+         }},\n\
+         _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+         \"enum tag must be a string\")),\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::de::Error::unexpected(\
+         \"an externally tagged enum\", __other)),\n\
+         }}"
+    )
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json).
+//!
+//! Renders the vendored serde's [`Content`] value tree to JSON text and
+//! parses JSON text back into it. Covers the API surface this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`Value`], and the [`json!`] macro (object literals with literal keys
+//! and expression values).
+//!
+//! Fidelity notes:
+//! * floats are written with Rust's shortest round-trip `{:?}` formatting
+//!   (integral floats keep their `.0`, exactly like upstream's ryu);
+//! * non-finite floats render as `null` (upstream behaviour);
+//! * non-string scalar map keys are stringified (upstream behaviour for
+//!   integer-keyed maps).
+
+use serde::content::Content;
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+use std::fmt;
+
+mod read;
+mod write;
+
+pub use read::parse_content;
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A parsed/constructed JSON value. Opaque wrapper over the serde value
+/// tree; build with [`json!`] or [`to_value`], render with [`to_string`]
+/// or [`to_string_pretty`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value(pub(crate) Content);
+
+impl Value {
+    pub fn null() -> Value {
+        Value(Content::Null)
+    }
+
+    /// Object constructor used by the [`json!`] macro.
+    pub fn object(entries: Vec<(String, Value)>) -> Value {
+        Value(Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (Content::Str(k), v.0))
+                .collect(),
+        ))
+    }
+
+    /// Array constructor used by the [`json!`] macro.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value(Content::Seq(items.into_iter().map(|v| v.0).collect()))
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> std::result::Result<Self, serde::de::Error> {
+        Ok(Value(c.clone()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&write::compact(&self.0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::compact(&value.to_content()))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::pretty(&value.to_content()))
+}
+
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(Value(value.to_content()))
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let content = read::parse_content(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_content(&value.0)?)
+}
+
+/// JSON literal macro. Supports the shapes this workspace writes: object
+/// literals with literal keys and expression values, array literals,
+/// `null`, and plain serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::null() };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::array(::std::vec![ $( $crate::to_value(&$elem).unwrap() ),* ])
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::object(::std::vec![
+            $( (::std::string::ToString::to_string(&$key), $crate::to_value(&$value).unwrap()) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&5.0f64).unwrap(), "5.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi").unwrap(), "\"hi\"");
+        let x: f64 = from_str("5.0").unwrap();
+        assert_eq!(x, 5.0);
+        let y: f64 = from_str("5").unwrap();
+        assert_eq!(y, 5.0);
+        let n: i64 = from_str("-12").unwrap();
+        assert_eq!(n, -12);
+    }
+
+    #[test]
+    fn float_shortest_repr_round_trips() {
+        for v in [0.1, 0.30000000000000004, 1e-12, 6.02e23, -273.15] {
+            let text = to_string(&v).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {text}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(3u64, vec![1.0f64, 2.5]), (9, vec![])];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(u64, Vec<f64>)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+
+        let opt: Option<f64> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        let back: Option<f64> = from_str("null").unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\tend\\ \u{1F600}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn integer_map_keys_are_stringified() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(7u64, 1.5f64);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, "{\"7\":1.5}");
+        let back: BTreeMap<u64, f64> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_macro_objects() {
+        let v = json!({
+            "name": "demcom",
+            "revenue": 12.5,
+            "count": 3usize,
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "{\"name\":\"demcom\",\"revenue\":12.5,\"count\":3}");
+        let nested = json!({ "runs": vec![v.clone(), v] });
+        assert!(to_string(&nested).unwrap().starts_with("{\"runs\":["));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({ "a": 1, "b": [1.5, 2.5], "c": { "d": true } });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+}

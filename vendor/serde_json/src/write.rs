@@ -1,0 +1,130 @@
+//! JSON text rendering (compact and 2-space pretty).
+
+use serde::content::Content;
+use std::fmt::Write as _;
+
+pub fn compact(c: &Content) -> String {
+    let mut out = String::new();
+    write_content(&mut out, c, None, 0);
+    out
+}
+
+pub fn pretty(c: &Content) -> String {
+    let mut out = String::new();
+    write_content(&mut out, c, Some(2), 0);
+    out
+}
+
+fn write_content(out: &mut String, c: &Content, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_key(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+/// Shortest round-trip formatting (`{:?}` keeps `.0` on integral floats,
+/// matching upstream's ryu output); non-finite values become `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON object keys must be strings: scalar keys are stringified the way
+/// upstream serde_json does for integer-keyed maps.
+fn write_key(out: &mut String, k: &Content) {
+    match k {
+        Content::Str(s) => write_escaped(out, s),
+        Content::U64(v) => {
+            let _ = write!(out, "\"{v}\"");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "\"{v}\"");
+        }
+        Content::Bool(b) => {
+            let _ = write!(out, "\"{b}\"");
+        }
+        Content::F64(v) => {
+            out.push('"');
+            write_f64(out, *v);
+            out.push('"');
+        }
+        other => panic!("serde_json (vendored): unsupported map key {other:?}"),
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
