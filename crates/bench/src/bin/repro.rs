@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run -p com-bench --release --bin repro -- <experiment> [--quick] [--out DIR]
+//! cargo run -p com-bench --release --bin repro -- <experiment> [--quick] [--out DIR] [--threads N]
 //!
 //! experiments:
 //!   table5 table6 table7        the paper's Tables V–VII
@@ -13,6 +13,11 @@
 //! flags:
 //!   --quick                     1/10-scale smoke run (minutes, not hours)
 //!   --out DIR                   write markdown + JSON dumps (default: results/)
+//!   --threads N                 fan the (instance × matcher × seed) grid
+//!                               across N workers (default: all cores;
+//!                               --threads 1 = old serial behaviour).
+//!                               Decided results are bit-identical for
+//!                               every N; only wall-clock fields vary.
 //! ```
 
 use std::fs;
@@ -20,6 +25,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use com_bench::experiments::{ablation, cr, figures, tables};
+use com_bench::runner::SweepRunner;
 use com_metrics::{CountingAllocator, Table};
 
 #[global_allocator]
@@ -29,12 +35,14 @@ struct Args {
     experiments: Vec<String>,
     quick: bool,
     out: PathBuf,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
     let mut experiments = Vec::new();
     let mut quick = false;
     let mut out = PathBuf::from("results");
+    let mut threads = 0; // all cores
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -42,8 +50,15 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(argv.next().expect("--out needs a directory"));
             }
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .expect("--threads needs a worker count")
+                    .parse()
+                    .expect("--threads must be an integer (0 = all cores)");
+            }
             "--help" | "-h" => {
-                println!("usage: repro <table5|table6|table7|fig5r|fig5w|fig5rad|cr|ablation|all> [--quick] [--out DIR]");
+                println!("usage: repro <table5|table6|table7|fig5r|fig5w|fig5rad|cr|ablation|all> [--quick] [--out DIR] [--threads N]");
                 std::process::exit(0);
             }
             other => experiments.push(other.to_string()),
@@ -56,6 +71,7 @@ fn parse_args() -> Args {
         experiments,
         quick,
         out,
+        threads,
     }
 }
 
@@ -74,12 +90,13 @@ fn emit_table(out: &Path, name: &str, table: &Table, json: &serde_json::Value) {
     save(out, name, &table.render_markdown(), json);
 }
 
-fn run_table(name: &str, quick: bool, out: &Path) {
+fn run_table(runner: &SweepRunner, name: &str, quick: bool, out: &Path) {
     let result = match name {
-        "table5" => tables::table5(quick),
-        "table6" => tables::table6(quick),
-        "table7" => tables::table7(quick),
-        "table5x30" => tables::run_table_multiday(
+        "table5" => tables::table5_with(runner, quick),
+        "table6" => tables::table6_with(runner, quick),
+        "table7" => tables::table7_with(runner, quick),
+        "table5x30" => tables::run_table_multiday_with(
+            runner,
             "table5x30",
             "Table V: Results on RDC10 and RYC10 (simulated, 1/10 scale)",
             &com_datagen::chengdu_oct(),
@@ -96,11 +113,11 @@ fn run_table(name: &str, quick: bool, out: &Path) {
     );
 }
 
-fn run_sweep(name: &str, quick: bool, out: &Path) {
+fn run_sweep(runner: &SweepRunner, name: &str, quick: bool, out: &Path) {
     let result = match name {
-        "fig5r" => figures::sweep_requests(quick),
-        "fig5w" => figures::sweep_workers(quick),
-        "fig5rad" => figures::sweep_radius(quick),
+        "fig5r" => figures::sweep_requests_with(runner, quick),
+        "fig5w" => figures::sweep_workers_with(runner, quick),
+        "fig5rad" => figures::sweep_radius_with(runner, quick),
         _ => unreachable!(),
     };
     let mut markdown = String::new();
@@ -123,9 +140,9 @@ fn run_sweep(name: &str, quick: bool, out: &Path) {
     );
 }
 
-fn run_cr(quick: bool, out: &Path) {
+fn run_cr(runner: &SweepRunner, quick: bool, out: &Path) {
     let (instances, orders) = if quick { (4, 8) } else { (16, 32) };
-    let study = cr::run_cr_study(instances, orders);
+    let study = cr::run_cr_study_with(runner, instances, orders);
     emit_table(
         out,
         "cr",
@@ -134,8 +151,8 @@ fn run_cr(quick: bool, out: &Path) {
     );
 }
 
-fn run_ablation(quick: bool, out: &Path) {
-    let results = ablation::run_all(quick);
+fn run_ablation(runner: &SweepRunner, quick: bool, out: &Path) {
+    let results = ablation::run_all_with(runner, quick);
     let mut markdown = String::new();
     for a in &results {
         let t = a.to_table();
@@ -153,6 +170,7 @@ fn run_ablation(quick: bool, out: &Path) {
 
 fn main() {
     let args = parse_args();
+    let runner = SweepRunner::new(args.threads);
     let all = [
         "table5",
         "table6",
@@ -171,9 +189,10 @@ fn main() {
     };
 
     println!(
-        "repro: {} experiment(s), {} mode, output -> {}",
+        "repro: {} experiment(s), {} mode, {} worker thread(s), output -> {}",
         list.len(),
         if args.quick { "quick" } else { "full" },
+        runner.threads(),
         args.out.display()
     );
 
@@ -181,10 +200,12 @@ fn main() {
         let started = Instant::now();
         CountingAllocator::reset_peak();
         match name.as_str() {
-            "table5" | "table6" | "table7" | "table5x30" => run_table(name, args.quick, &args.out),
-            "fig5r" | "fig5w" | "fig5rad" => run_sweep(name, args.quick, &args.out),
-            "cr" => run_cr(args.quick, &args.out),
-            "ablation" => run_ablation(args.quick, &args.out),
+            "table5" | "table6" | "table7" | "table5x30" => {
+                run_table(&runner, name, args.quick, &args.out)
+            }
+            "fig5r" | "fig5w" | "fig5rad" => run_sweep(&runner, name, args.quick, &args.out),
+            "cr" => run_cr(&runner, args.quick, &args.out),
+            "ablation" => run_ablation(&runner, args.quick, &args.out),
             other => {
                 eprintln!("unknown experiment `{other}` (see --help)");
                 std::process::exit(2);

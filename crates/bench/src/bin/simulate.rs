@@ -6,15 +6,27 @@
 //!      | --workers-csv W.csv --requests-csv R.csv [--platforms "A,B"]] \
 //!     [--algo tota|demcom|ramcom|greedy-rt|route-aware:<cap-km>|all] \
 //!     [--seed N] [--metric euclidean|manhattan] [--json out.json] \
-//!     [--stats] [--trace out.jsonl]
+//!     [--stats] [--trace out.jsonl] [--threads N]
 //! ```
 //!
-//! `--stats` installs the `com-obs` collector and prints a per-algorithm,
-//! per-phase latency table (candidate search, pricing, offer, full
-//! decision) plus the run's counters and gauges. `--trace FILE` also
-//! streams every span as one JSON object per line. Neither flag changes
-//! any decision or revenue: identical seeds give identical results with
-//! instrumentation on or off.
+//! Algorithm names resolve through `com-core`'s `MatcherRegistry` — the
+//! same source of truth the `repro` harness uses — so an unknown
+//! `--algo` produces an error listing the valid specs instead of a
+//! panic.
+//!
+//! `--threads N` replays the requested algorithms on N workers via the
+//! deterministic sweep runner (default 1; `0` = all cores). Results are
+//! bit-identical to serial for every N: each run's RNG is seeded from
+//! `--seed` alone.
+//!
+//! `--stats` collects per-run `com-obs` telemetry (one collector per
+//! worker thread) and prints a per-algorithm, per-phase latency table
+//! (candidate search, pricing, offer, full decision) plus counters and
+//! gauges — and, when several algorithms ran, one merged report across
+//! all runs. `--trace FILE` streams every span as one JSON object per
+//! line (single collector, so it forces `--threads 1`). Neither flag
+//! changes any decision or revenue: identical seeds give identical
+//! results with instrumentation on or off.
 //!
 //! The config file is a serialised `com_datagen::ScenarioConfig` — dump a
 //! starting point with `--emit-config`, edit, and re-run. This is the
@@ -25,9 +37,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use com_core::{
-    run_online, DemCom, GreedyRt, OnlineMatcher, RamCom, RouteAwareCom, RunResult, TotaGreedy,
-};
+use com_bench::runner::{merged_telemetry, SweepRunner};
+use com_core::{run_online, MatcherFactory, MatcherRegistry, RunResult};
 use com_datagen::{
     chengdu_nov, chengdu_oct, generate, instance_from_csv, synthetic, xian_nov, ScenarioConfig,
     SyntheticParams,
@@ -49,6 +60,7 @@ struct Args {
     emit_config: bool,
     stats: bool,
     trace: Option<PathBuf>,
+    threads: usize,
 }
 
 fn usage() -> ! {
@@ -56,7 +68,8 @@ fn usage() -> ! {
         "usage: simulate [--config FILE | --profile NAME \
          | --workers-csv W.csv --requests-csv R.csv [--platforms NAMES]] \
          [--algo LIST] [--seed N] [--metric euclidean|manhattan] \
-         [--json FILE] [--stats] [--trace FILE.jsonl] [--emit-config]"
+         [--json FILE] [--stats] [--trace FILE.jsonl] [--threads N] \
+         [--emit-config]"
     );
     std::process::exit(2);
 }
@@ -75,6 +88,7 @@ fn parse_args() -> Args {
         emit_config: false,
         stats: false,
         trace: None,
+        threads: 1,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -110,6 +124,11 @@ fn parse_args() -> Args {
             "--json" => args.json_out = Some(PathBuf::from(next("--json"))),
             "--stats" => args.stats = true,
             "--trace" => args.trace = Some(PathBuf::from(next("--trace"))),
+            "--threads" => {
+                args.threads = next("--threads")
+                    .parse()
+                    .expect("--threads must be an integer (0 = all cores)")
+            }
             "--emit-config" => args.emit_config = true,
             "--help" | "-h" => usage(),
             other => {
@@ -139,21 +158,19 @@ fn load_scenario(args: &Args) -> ScenarioConfig {
     }
 }
 
-fn matcher_for(name: &str) -> Box<dyn OnlineMatcher> {
-    if let Some(cap) = name.strip_prefix("route-aware:") {
-        let cap: f64 = cap.parse().expect("route-aware:<cap-km>");
-        return Box::new(RouteAwareCom::with_cap(cap));
-    }
-    match name {
-        "tota" => Box::new(TotaGreedy),
-        "demcom" => Box::new(DemCom::default()),
-        "ramcom" => Box::new(RamCom::default()),
-        "greedy-rt" => Box::new(GreedyRt::default()),
-        other => {
-            eprintln!("unknown algorithm {other}");
-            usage()
-        }
-    }
+/// Resolve every requested `--algo` spec through the shared registry,
+/// exiting with the registry's own error message (which lists the valid
+/// specs) on the first unknown name.
+fn resolve_algos(registry: &MatcherRegistry, names: &[String]) -> Vec<MatcherFactory> {
+    names
+        .iter()
+        .map(|name| {
+            registry.resolve(name).unwrap_or_else(|e| {
+                eprintln!("simulate: {e}");
+                std::process::exit(2)
+            })
+        })
+        .collect()
 }
 
 fn report_row(run: &RunResult, platforms: usize) -> Vec<String> {
@@ -269,6 +286,21 @@ fn main() {
         return;
     }
 
+    let algo_names: Vec<String> = if args.algos.iter().any(|a| a == "all") {
+        vec!["tota".into(), "demcom".into(), "ramcom".into()]
+    } else {
+        args.algos.clone()
+    };
+    let registry = MatcherRegistry::builtin();
+    let factories = resolve_algos(&registry, &algo_names);
+
+    let threads = if args.trace.is_some() && args.threads != 1 {
+        eprintln!("--trace streams through a single collector; forcing --threads 1");
+        1
+    } else {
+        args.threads
+    };
+
     let mut instance = build_instance(&args, &scenario);
     instance.config.metric = args.metric;
     println!(
@@ -280,12 +312,6 @@ fn main() {
         args.metric,
         args.seed,
     );
-
-    let algo_names: Vec<String> = if args.algos.iter().any(|a| a == "all") {
-        vec!["tota".into(), "demcom".into(), "ramcom".into()]
-    } else {
-        args.algos.clone()
-    };
 
     let mut table = Table::new(
         "simulate",
@@ -305,16 +331,23 @@ fn main() {
             eprintln!("cannot open trace file {}: {e}", path.display());
             std::process::exit(2)
         });
-    } else if args.stats {
-        com_obs::install();
     }
+
+    // One run per algorithm, fanned across the sweep runner. Every run
+    // is seeded from `--seed` alone, so results are bit-identical to the
+    // old serial loop for any thread count. With `--trace` the collector
+    // installed above stays active (the runner never clobbers a live
+    // collector); with `--stats` the runner installs one per worker.
+    let runner = SweepRunner::new(threads).with_telemetry(args.stats || args.trace.is_some());
+    let runs: Vec<RunResult> = runner.map(factories, |_, factory| {
+        let mut matcher = factory();
+        run_online(&instance, matcher.as_mut(), args.seed)
+    });
 
     let mut dumps = Vec::new();
     let mut reports = Vec::new();
-    for name in &algo_names {
-        let mut matcher = matcher_for(name);
-        let run = run_online(&instance, matcher.as_mut(), args.seed);
-        table.push_row(report_row(&run, instance.platform_names.len()));
+    for run in &runs {
+        table.push_row(report_row(run, instance.platform_names.len()));
         reports.extend(run.telemetry.clone());
         dumps.push(serde_json::json!({
             "algorithm": run.algorithm,
@@ -331,6 +364,9 @@ fn main() {
     println!("{}", table.render_ascii());
 
     if args.stats || args.trace.is_some() {
+        if reports.len() > 1 {
+            reports.extend(merged_telemetry("all algorithms (merged)", &runs));
+        }
         print_stats(&reports);
         com_obs::uninstall();
         if let Some(path) = &args.trace {

@@ -19,6 +19,8 @@ use com_datagen::{generate, synthetic, SyntheticParams};
 use com_metrics::Table;
 use com_pricing::{MonteCarloParams, PriceCandidates};
 
+use crate::runner::SweepRunner;
+
 use super::EXPERIMENT_SEED;
 
 /// One ablation variant's measurements.
@@ -221,17 +223,11 @@ pub fn value_distributions(quick: bool) -> AblationResult {
             values: dist,
             ..base
         }));
-        for (algo, mut matcher) in [
-            (
-                "TOTA",
-                Box::new(com_core::TotaGreedy) as Box<dyn com_core::OnlineMatcher>,
-            ),
-            ("DemCOM", Box::new(DemCom::default())),
-            ("RamCOM", Box::new(RamCom::default())),
-        ] {
+        for spec in super::standard_specs() {
+            let mut matcher = spec.build();
             rows.push(measure(
                 &instance,
-                &format!("{dist_name}/{algo}"),
+                &format!("{dist_name}/{}", spec.display_name()),
                 matcher.as_mut(),
             ));
         }
@@ -387,19 +383,27 @@ pub fn worker_shifts(quick: bool) -> AblationResult {
     }
 }
 
-/// All ablations.
+/// All ablations (serial; see [`run_all_with`]).
 pub fn run_all(quick: bool) -> Vec<AblationResult> {
-    vec![
-        demcom_xi_sweep(quick),
-        ramcom_pricing_strategies(quick),
-        ramcom_fallback(quick),
-        ramcom_threshold_modes(quick),
-        history_updates(quick),
-        value_distributions(quick),
-        route_aware_caps(quick),
-        batched_windows(quick),
-        worker_shifts(quick),
-    ]
+    run_all_with(&SweepRunner::serial(), quick)
+}
+
+/// All ablations, one parallel job per study. Every study regenerates
+/// its own instance and replays with explicit seeds, so the fan-out is
+/// deterministic; results come back in presentation order.
+pub fn run_all_with(runner: &SweepRunner, quick: bool) -> Vec<AblationResult> {
+    let studies: Vec<fn(bool) -> AblationResult> = vec![
+        demcom_xi_sweep,
+        ramcom_pricing_strategies,
+        ramcom_fallback,
+        ramcom_threshold_modes,
+        history_updates,
+        value_distributions,
+        route_aware_caps,
+        batched_windows,
+        worker_shifts,
+    ];
+    runner.map(studies, |_, study| study(quick))
 }
 
 #[cfg(test)]

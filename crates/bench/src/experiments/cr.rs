@@ -8,12 +8,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use com_core::{competitive_ratio_random_order, OnlineMatcher};
+use com_core::competitive_ratio_random_order;
 use com_datagen::{generate, synthetic, SyntheticParams};
 use com_metrics::Table;
 use com_sim::ServiceModel;
 
-use super::{matcher_by_name, EXPERIMENT_SEED, STANDARD_NAMES};
+use crate::runner::SweepRunner;
+
+use super::{standard_specs, EXPERIMENT_SEED, STANDARD_NAMES};
 
 /// RamCOM's proven lower bound, `1 / (8e)`.
 pub const RAMCOM_BOUND: f64 = 1.0 / (8.0 * std::f64::consts::E);
@@ -73,8 +75,41 @@ fn cr_params(seed: u64) -> SyntheticParams {
 }
 
 /// Run the study: `instances` random instances, `orders` sampled arrival
-/// orders each.
+/// orders each (serial; see [`run_cr_study_with`]).
 pub fn run_cr_study(instances: usize, orders: usize) -> CrStudy {
+    run_cr_study_with(&SweepRunner::serial(), instances, orders)
+}
+
+/// Run the study, fanning the (instance × matcher) grid across
+/// `runner`'s workers. Per-cell order sampling is seeded from the
+/// instance index, and the cross-instance reduction folds in instance
+/// order, so the study is bit-identical to serial execution.
+pub fn run_cr_study_with(runner: &SweepRunner, instances: usize, orders: usize) -> CrStudy {
+    // Phase 1: the one-shot instances (Fig. 4's strict bipartite model,
+    // where the Hungarian OFF is exact), generated in parallel.
+    let instance_jobs: Vec<usize> = (0..instances).collect();
+    let generated = runner.map(instance_jobs, |_, &i| {
+        let mut config = synthetic(cr_params(EXPERIMENT_SEED ^ (i as u64) << 8));
+        config.service = ServiceModel::one_shot();
+        generate(&config)
+    });
+
+    // Phase 2: one job per (instance, matcher) cell.
+    let specs = standard_specs();
+    let cells: Vec<(usize, usize)> = (0..instances)
+        .flat_map(|i| (0..specs.len()).map(move |si| (i, si)))
+        .collect();
+    let reports = runner.map(cells, |_, &(i, si)| {
+        competitive_ratio_random_order(
+            &generated[i],
+            &mut || specs[si].build(),
+            orders,
+            EXPERIMENT_SEED + i as u64,
+        )
+    });
+
+    // Reduce per matcher, visiting instances in ascending order exactly
+    // as the serial loop did (float accumulation order preserved).
     let mut rows: Vec<CrRow> = STANDARD_NAMES
         .iter()
         .map(|n| CrRow {
@@ -83,25 +118,10 @@ pub fn run_cr_study(instances: usize, orders: usize) -> CrStudy {
             mean_ratio: 0.0,
         })
         .collect();
-
-    for i in 0..instances {
-        let mut config = synthetic(cr_params(EXPERIMENT_SEED ^ (i as u64) << 8));
-        // One-shot: the strict bipartite model of Fig. 4, where the
-        // Hungarian OFF is exact.
-        config.service = ServiceModel::one_shot();
-        let instance = generate(&config);
-
-        for row in rows.iter_mut() {
-            let name = row.algorithm.clone();
-            let report = competitive_ratio_random_order(
-                &instance,
-                &mut || matcher_by_name(&name) as Box<dyn OnlineMatcher>,
-                orders,
-                EXPERIMENT_SEED + i as u64,
-            );
-            row.min_ratio = row.min_ratio.min(report.min);
-            row.mean_ratio += report.mean / instances as f64;
-        }
+    for (cell, report) in reports.iter().enumerate() {
+        let row = &mut rows[cell % specs.len()];
+        row.min_ratio = row.min_ratio.min(report.min);
+        row.mean_ratio += report.mean / instances as f64;
     }
 
     CrStudy {

@@ -11,7 +11,9 @@ use com_core::run_online;
 use com_datagen::{generate, synthetic, SyntheticParams};
 use com_metrics::SweepSeries;
 
-use super::{matcher_by_name, EXPERIMENT_SEED, STANDARD_NAMES};
+use crate::runner::SweepRunner;
+
+use super::{standard_specs, EXPERIMENT_SEED, STANDARD_NAMES};
 
 /// The paper's swept values (Table IV; defaults bold: |R| = 2500,
 /// |W| = 500, rad = 1.0).
@@ -42,42 +44,54 @@ pub struct SweepResult {
 }
 
 fn run_sweep(
+    runner: &SweepRunner,
     axis: &str,
     figure_ids: [&str; 4],
     xs: Vec<f64>,
-    mut params_for: impl FnMut(f64) -> SyntheticParams,
+    params_for: impl Fn(f64) -> SyntheticParams + Send + Sync,
 ) -> SweepResult {
+    // Phase 1: generate one instance per swept value, in parallel.
+    let instances = runner.map(xs.clone(), |_, &x| generate(&synthetic(params_for(x))));
+
+    // Phase 2: fan the (instance × matcher) grid. Each cell's RNG seed
+    // depends only on the cell, so results match serial execution.
+    let specs = standard_specs();
+    let cells: Vec<(usize, usize)> = (0..xs.len())
+        .flat_map(|xi| (0..specs.len()).map(move |si| (xi, si)))
+        .collect();
+    let runs = runner.map(cells, |_, &(xi, si)| {
+        let mut matcher = specs[si].build();
+        run_online(&instances[xi], matcher.as_mut(), EXPERIMENT_SEED)
+    });
+
     let mut points = Vec::new();
     let mut revenue_cols: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len()];
     let mut response_cols: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len()];
     let mut memory_cols: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len()];
     let mut acceptance_cols: Vec<Vec<f64>> = vec![Vec::new(); 2]; // DemCOM, RamCOM
 
-    for &x in &xs {
-        let instance = generate(&synthetic(params_for(x)));
-        for (i, name) in STANDARD_NAMES.iter().enumerate() {
-            let mut matcher = matcher_by_name(name);
-            let run = run_online(&instance, matcher.as_mut(), EXPERIMENT_SEED);
-            let revenue = run.total_revenue();
-            let response = run.mean_response_ms();
-            let memory = run.peak_memory_bytes;
-            let acceptance = run.acceptance_ratio();
-            points.push(SweepPoint {
-                x,
-                algorithm: name.to_string(),
-                revenue,
-                response_ms: response,
-                memory_bytes: memory,
-                acceptance_ratio: acceptance,
-            });
-            revenue_cols[i].push(revenue / 1.0e6);
-            response_cols[i].push(response);
-            memory_cols[i].push(memory as f64 / (1024.0 * 1024.0));
-            if *name == "DemCOM" {
-                acceptance_cols[0].push(acceptance.unwrap_or(0.0));
-            } else if *name == "RamCOM" {
-                acceptance_cols[1].push(acceptance.unwrap_or(0.0));
-            }
+    for (cell, run) in runs.iter().enumerate() {
+        let (xi, i) = (cell / specs.len(), cell % specs.len());
+        let (x, name) = (xs[xi], STANDARD_NAMES[i]);
+        let revenue = run.total_revenue();
+        let response = run.mean_response_ms();
+        let memory = run.peak_memory_bytes;
+        let acceptance = run.acceptance_ratio();
+        points.push(SweepPoint {
+            x,
+            algorithm: name.to_string(),
+            revenue,
+            response_ms: response,
+            memory_bytes: memory,
+            acceptance_ratio: acceptance,
+        });
+        revenue_cols[i].push(revenue / 1.0e6);
+        response_cols[i].push(response);
+        memory_cols[i].push(memory as f64 / (1024.0 * 1024.0));
+        if name == "DemCOM" {
+            acceptance_cols[0].push(acceptance.unwrap_or(0.0));
+        } else if name == "RamCOM" {
+            acceptance_cols[1].push(acceptance.unwrap_or(0.0));
         }
     }
 
@@ -125,40 +139,61 @@ fn run_sweep(
 
 /// Fig. 5(a)–(d): sweep the total number of requests `|R|`.
 pub fn sweep_requests(quick: bool) -> SweepResult {
+    sweep_requests_with(&SweepRunner::serial(), quick)
+}
+
+/// Fig. 5(a)–(d) with a parallel grid runner.
+pub fn sweep_requests_with(runner: &SweepRunner, quick: bool) -> SweepResult {
     let xs: Vec<f64> = if quick {
         vec![500.0, 1_000.0, 2_500.0, 5_000.0]
     } else {
         R_VALUES.iter().map(|&v| v as f64).collect()
     };
-    run_sweep("|R|", ["a", "b", "c", "d"], xs, |x| SyntheticParams {
-        n_requests: x as usize,
-        ..Default::default()
+    run_sweep(runner, "|R|", ["a", "b", "c", "d"], xs, |x| {
+        SyntheticParams {
+            n_requests: x as usize,
+            ..Default::default()
+        }
     })
 }
 
 /// Fig. 5(e)–(h): sweep the total number of workers `|W|`.
 pub fn sweep_workers(quick: bool) -> SweepResult {
+    sweep_workers_with(&SweepRunner::serial(), quick)
+}
+
+/// Fig. 5(e)–(h) with a parallel grid runner.
+pub fn sweep_workers_with(runner: &SweepRunner, quick: bool) -> SweepResult {
     let xs: Vec<f64> = if quick {
         vec![100.0, 200.0, 500.0, 1_000.0]
     } else {
         W_VALUES.iter().map(|&v| v as f64).collect()
     };
-    run_sweep("|W|", ["e", "f", "g", "h"], xs, |x| SyntheticParams {
-        n_workers: x as usize,
-        ..Default::default()
+    run_sweep(runner, "|W|", ["e", "f", "g", "h"], xs, |x| {
+        SyntheticParams {
+            n_workers: x as usize,
+            ..Default::default()
+        }
     })
 }
 
 /// Fig. 5(i)–(l): sweep the service radius `rad`.
 pub fn sweep_radius(quick: bool) -> SweepResult {
+    sweep_radius_with(&SweepRunner::serial(), quick)
+}
+
+/// Fig. 5(i)–(l) with a parallel grid runner.
+pub fn sweep_radius_with(runner: &SweepRunner, quick: bool) -> SweepResult {
     let xs: Vec<f64> = if quick {
         vec![0.5, 1.0, 1.5]
     } else {
         RAD_VALUES.to_vec()
     };
-    run_sweep("rad", ["i", "j", "k", "l"], xs, |x| SyntheticParams {
-        radius_km: x,
-        ..Default::default()
+    run_sweep(runner, "rad", ["i", "j", "k", "l"], xs, |x| {
+        SyntheticParams {
+            radius_km: x,
+            ..Default::default()
+        }
     })
 }
 

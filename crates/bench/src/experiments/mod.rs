@@ -1,36 +1,38 @@
 //! Experiment implementations, one module per paper artefact family.
+//!
+//! Matcher construction goes through `com-core`'s [`MatcherSpec`] /
+//! `MatcherRegistry` API (one source of truth shared with the `simulate`
+//! binary), and every module exposes a `*_with` variant taking a
+//! [`crate::runner::SweepRunner`] so the (instance × matcher × seed)
+//! grid fans out across threads with bit-identical results.
 
 pub mod ablation;
 pub mod cr;
 pub mod figures;
 pub mod tables;
 
-use com_core::{DemCom, OnlineMatcher, RamCom, TotaGreedy};
+use com_core::MatcherSpec;
 
 /// The three online algorithms every experiment compares, in the paper's
 /// presentation order.
-pub fn standard_matchers() -> Vec<Box<dyn OnlineMatcher>> {
-    vec![
-        Box::new(TotaGreedy),
-        Box::new(DemCom::default()),
-        Box::new(RamCom::default()),
-    ]
+pub fn standard_specs() -> [MatcherSpec; 3] {
+    MatcherSpec::standard()
 }
 
-/// Fresh instances of the three standard matchers by name, for harness
-/// code that needs factories.
-pub fn matcher_by_name(name: &str) -> Box<dyn OnlineMatcher> {
-    match name {
-        "TOTA" => Box::new(TotaGreedy),
-        "DemCOM" => Box::new(DemCom::default()),
-        "RamCOM" => Box::new(RamCom::default()),
-        other => panic!("unknown matcher {other}"),
-    }
-}
-
-/// Names of the standard matchers (presentation order).
+/// Display names of the standard matchers (presentation order).
 pub const STANDARD_NAMES: [&str; 3] = ["TOTA", "DemCOM", "RamCOM"];
 
 /// The seed every headline experiment uses (results in EXPERIMENTS.md are
 /// regenerated from exactly this value).
 pub const EXPERIMENT_SEED: u64 = 20200420; // ICDE 2020 week
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_specs_match_display_names() {
+        let names: Vec<&str> = standard_specs().iter().map(|s| s.display_name()).collect();
+        assert_eq!(names, STANDARD_NAMES);
+    }
+}

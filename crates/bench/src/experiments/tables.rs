@@ -14,7 +14,9 @@ use com_core::{offline_solve, run_online, OfflineMode, PlatformId, RunResult};
 use com_datagen::{chengdu_nov, chengdu_oct, generate, xian_nov, ScenarioConfig};
 use com_metrics::{fmt_mega, fmt_mib, Table};
 
-use super::{matcher_by_name, EXPERIMENT_SEED, STANDARD_NAMES};
+use crate::runner::{run_grid, SweepRunner};
+
+use super::{standard_specs, EXPERIMENT_SEED, STANDARD_NAMES};
 
 /// One method's measured row (serialisable so EXPERIMENTS.md numbers can
 /// be regenerated from JSON dumps).
@@ -132,8 +134,22 @@ fn averaged_method_row(runs: &[RunResult]) -> MethodRow {
     }
 }
 
-/// Run one table experiment on a scenario.
+/// Run one table experiment on a scenario (serial; see
+/// [`run_table_with`] for the parallel grid version).
 pub fn run_table(id: &str, title: &str, config: &ScenarioConfig, quick: bool) -> TableResult {
+    run_table_with(&SweepRunner::serial(), id, title, config, quick)
+}
+
+/// Run one table experiment, fanning the (matcher × seed) grid across
+/// `runner`'s workers. Online results are bit-identical to serial
+/// execution; only wall-clock fields (response time) vary.
+pub fn run_table_with(
+    runner: &SweepRunner,
+    id: &str,
+    title: &str,
+    config: &ScenarioConfig,
+    quick: bool,
+) -> TableResult {
     let config = if quick {
         scaled_down(config, 10)
     } else {
@@ -161,14 +177,12 @@ pub fn run_table(id: &str, title: &str, config: &ScenarioConfig, quick: bool) ->
         payment_rate: None,
     });
 
-    for name in STANDARD_NAMES {
-        let runs: Vec<RunResult> = (0..TABLE_REPEATS)
-            .map(|i| {
-                let mut matcher = matcher_by_name(name);
-                run_online(&instance, matcher.as_mut(), EXPERIMENT_SEED + i)
-            })
-            .collect();
-        rows.push(averaged_method_row(&runs));
+    // The (matcher × seed) grid: every cell builds a fresh matcher from
+    // its spec and uses the cell's own seed, so the fan-out is exact.
+    let seeds: Vec<u64> = (0..TABLE_REPEATS).map(|i| EXPERIMENT_SEED + i).collect();
+    let runs = run_grid(runner, &instance, &standard_specs(), &seeds);
+    for per_method in runs.chunks(seeds.len()) {
+        rows.push(averaged_method_row(per_method));
     }
 
     TableResult {
@@ -196,6 +210,31 @@ pub fn run_table_multiday(
     days: usize,
     quick: bool,
 ) -> TableResult {
+    run_table_multiday_with(&SweepRunner::serial(), id, title, config, days, quick)
+}
+
+/// One day's measurements: OFF plus every standard online method.
+struct DayMeasurements {
+    /// (revenue_d, revenue_y, completed_d, completed_y) for OFF then each
+    /// standard method, in presentation order.
+    per_method: Vec<(f64, f64, usize, usize)>,
+    response_ms: Vec<f64>,
+    coop: Vec<f64>,
+    acc: Vec<Option<f64>>,
+    rate: Vec<Option<f64>>,
+}
+
+/// Multi-day study fanned across `runner`'s workers, one job per day
+/// (each day regenerates its instance and replays every method, so the
+/// grain is chunky and cross-day aggregation folds in day order).
+pub fn run_table_multiday_with(
+    runner: &SweepRunner,
+    id: &str,
+    title: &str,
+    config: &ScenarioConfig,
+    days: usize,
+    quick: bool,
+) -> TableResult {
     assert!(days >= 1);
     let base = if quick {
         scaled_down(config, 10)
@@ -203,41 +242,60 @@ pub fn run_table_multiday(
         config.clone()
     };
 
-    // method -> per-day (revenue_d, revenue_y, completed_d, completed_y).
+    let day_jobs: Vec<usize> = (0..days).collect();
+    let measured: Vec<DayMeasurements> = runner.map(day_jobs, |_, &day| {
+        let instance = generate(&base.with_seed(base.seed ^ (day as u64) << 16));
+        let started = Instant::now();
+        let off = offline_solve(&instance, OfflineMode::GreedySchedule);
+        let off_ms = started.elapsed().as_secs_f64() * 1e3 / instance.request_count().max(1) as f64;
+        let mut m = DayMeasurements {
+            per_method: vec![(
+                off.revenue_by_platform[0],
+                off.revenue_by_platform[1],
+                off.completed_by_platform[0],
+                off.completed_by_platform[1],
+            )],
+            response_ms: vec![off_ms],
+            coop: Vec::new(),
+            acc: Vec::new(),
+            rate: Vec::new(),
+        };
+        for spec in standard_specs() {
+            let mut matcher = spec.build();
+            let run = run_online(&instance, matcher.as_mut(), EXPERIMENT_SEED + day as u64);
+            m.per_method.push((
+                run.revenue_for(PlatformId(0)),
+                run.revenue_for(PlatformId(1)),
+                run.completed_for(PlatformId(0)),
+                run.completed_for(PlatformId(1)),
+            ));
+            m.response_ms.push(run.mean_response_ms());
+            m.coop.push(run.cooperative_count() as f64);
+            m.acc.push(run.acceptance_ratio());
+            m.rate.push(run.mean_outer_payment_rate());
+        }
+        m
+    });
+
+    // method -> per-day (revenue_d, revenue_y, completed_d, completed_y),
+    // folded in day order so float accumulation matches serial execution.
     let mut per_day: Vec<Vec<(f64, f64, usize, usize)>> =
         vec![Vec::new(); STANDARD_NAMES.len() + 1];
     let mut response: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len() + 1];
     let mut coop: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len()];
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len()];
     let mut rate: Vec<Vec<f64>> = vec![Vec::new(); STANDARD_NAMES.len()];
-
-    for day in 0..days {
-        let instance = generate(&base.with_seed(base.seed ^ (day as u64) << 16));
-        let started = Instant::now();
-        let off = offline_solve(&instance, OfflineMode::GreedySchedule);
-        let off_ms = started.elapsed().as_secs_f64() * 1e3 / instance.request_count().max(1) as f64;
-        per_day[0].push((
-            off.revenue_by_platform[0],
-            off.revenue_by_platform[1],
-            off.completed_by_platform[0],
-            off.completed_by_platform[1],
-        ));
-        response[0].push(off_ms);
-        for (i, name) in STANDARD_NAMES.iter().enumerate() {
-            let mut matcher = matcher_by_name(name);
-            let run = run_online(&instance, matcher.as_mut(), EXPERIMENT_SEED + day as u64);
-            per_day[i + 1].push((
-                run.revenue_for(PlatformId(0)),
-                run.revenue_for(PlatformId(1)),
-                run.completed_for(PlatformId(0)),
-                run.completed_for(PlatformId(1)),
-            ));
-            response[i + 1].push(run.mean_response_ms());
-            coop[i].push(run.cooperative_count() as f64);
-            if let Some(a) = run.acceptance_ratio() {
+    for m in &measured {
+        for (i, v) in m.per_method.iter().enumerate() {
+            per_day[i].push(*v);
+            response[i].push(m.response_ms[i]);
+        }
+        for i in 0..STANDARD_NAMES.len() {
+            coop[i].push(m.coop[i]);
+            if let Some(a) = m.acc[i] {
                 acc[i].push(a);
             }
-            if let Some(r) = run.mean_outer_payment_rate() {
+            if let Some(r) = m.rate[i] {
                 rate[i].push(r);
             }
         }
@@ -282,7 +340,13 @@ pub fn run_table_multiday(
 
 /// Table V: results on RDC10 and RYC10 (Chengdu, October).
 pub fn table5(quick: bool) -> TableResult {
-    run_table(
+    table5_with(&SweepRunner::serial(), quick)
+}
+
+/// Table V with a parallel grid runner.
+pub fn table5_with(runner: &SweepRunner, quick: bool) -> TableResult {
+    run_table_with(
+        runner,
         "table5",
         "Table V: Results on RDC10 and RYC10 (simulated, 1/10 scale)",
         &chengdu_oct(),
@@ -292,7 +356,13 @@ pub fn table5(quick: bool) -> TableResult {
 
 /// Table VI: results on RDC11 and RYC11 (Chengdu, November).
 pub fn table6(quick: bool) -> TableResult {
-    run_table(
+    table6_with(&SweepRunner::serial(), quick)
+}
+
+/// Table VI with a parallel grid runner.
+pub fn table6_with(runner: &SweepRunner, quick: bool) -> TableResult {
+    run_table_with(
+        runner,
         "table6",
         "Table VI: Results on RDC11 and RYC11 (simulated, 1/10 scale)",
         &chengdu_nov(),
@@ -302,7 +372,13 @@ pub fn table6(quick: bool) -> TableResult {
 
 /// Table VII: results on RDX11 and RYX11 (Xi'an, November).
 pub fn table7(quick: bool) -> TableResult {
-    run_table(
+    table7_with(&SweepRunner::serial(), quick)
+}
+
+/// Table VII with a parallel grid runner.
+pub fn table7_with(runner: &SweepRunner, quick: bool) -> TableResult {
+    run_table_with(
+        runner,
         "table7",
         "Table VII: Results on RDX11 and RYX11 (simulated, 1/10 scale)",
         &xian_nov(),

@@ -15,12 +15,19 @@
 //! | Design ablations (§III-D) | [`experiments::ablation`] |
 //!
 //! Run `cargo run -p com-bench --release --bin repro -- all` to regenerate
-//! everything (add `--quick` for a minutes-scale smoke pass); criterion
-//! micro-benchmarks for the same code paths live in `benches/`.
+//! everything (add `--quick` for a minutes-scale smoke pass, `--threads N`
+//! to fan the grid across workers); criterion micro-benchmarks for the
+//! same code paths live in `benches/`.
+//!
+//! The [`runner`] module is the scaling substrate: a deterministic
+//! parallel sweep runner whose results are bit-identical to serial
+//! execution regardless of thread count.
 
 pub mod experiments;
+pub mod runner;
 
 pub use experiments::ablation;
 pub use experiments::cr;
 pub use experiments::figures;
 pub use experiments::tables;
+pub use runner::{canonical_run_json, merged_telemetry, run_grid, SweepRunner};

@@ -1,0 +1,286 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Every paper artefact replays an (instance × matcher × seed) grid, and
+//! the grid is embarrassingly parallel: each cell builds a fresh matcher
+//! from its [`MatcherSpec`] and seeds its own `StdRng` from the cell's
+//! explicit seed, so no state crosses cells. [`SweepRunner`] fans such
+//! grids across `std::thread::scope` workers (no external dependencies)
+//! while guaranteeing **bit-identical results to serial execution**
+//! regardless of thread count or scheduling:
+//!
+//! * every job's RNG seed is a function of the (cell, seed) pair alone,
+//!   never of the executing thread or of execution order;
+//! * jobs pull from an atomic queue but results are re-ordered by job
+//!   index before being returned, so downstream aggregation (float
+//!   accumulation included) folds in exactly the serial order;
+//! * telemetry uses per-thread `com-obs` collectors (installed by the
+//!   runner in each worker when [`SweepRunner::with_telemetry`] is on)
+//!   and each run's report rides on its `RunResult`; cross-run summaries
+//!   merge those reports in job order via [`RunTelemetry::merged`]
+//!   instead of relying on a single globally installed collector.
+//!
+//! Wall-clock fields (`decision_nanos`, response-time metrics) are
+//! measured, not simulated, and therefore differ between any two runs —
+//! serial or parallel. [`canonical_run_json`] projects a `RunResult`
+//! onto its deterministic content (assignments, revenue, telemetry
+//! counters) for byte-exact comparison across thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use com_core::{run_online, Instance, MatcherSpec, RunResult};
+use com_obs::RunTelemetry;
+
+/// Fans jobs across scoped worker threads, preserving job order in the
+/// returned results. `threads == 1` runs everything on the calling
+/// thread (the old serial behaviour).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+    collect_telemetry: bool,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::all_cores()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with an explicit worker count; `0` means "all cores"
+    /// (`std::thread::available_parallelism`).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        SweepRunner {
+            threads,
+            collect_telemetry: false,
+        }
+    }
+
+    /// The old single-threaded behaviour.
+    pub fn serial() -> Self {
+        SweepRunner::new(1)
+    }
+
+    /// One worker per available core.
+    pub fn all_cores() -> Self {
+        SweepRunner::new(0)
+    }
+
+    /// Install a fresh `com-obs` collector around each worker's job loop
+    /// (and around the serial loop), so every `RunResult` carries its
+    /// `RunTelemetry` even though collectors are thread-local.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.collect_telemetry = on;
+        self
+    }
+
+    /// Resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` over every job, in parallel, returning results in job
+    /// order. `f` receives the job's index and the job itself; it must
+    /// derive any randomness from the job alone (not from shared state)
+    /// for the thread-count invariance guarantee to hold.
+    pub fn map<T, R, F>(&self, jobs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Send + Sync,
+    {
+        let n = jobs.len();
+        let threads = self.threads.min(n).max(1);
+        if threads == 1 {
+            let install = self.collect_telemetry && !com_obs::is_active();
+            if install {
+                com_obs::install();
+            }
+            let out = jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+            if install {
+                com_obs::uninstall();
+            }
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let jobs = &jobs;
+        let f = &f;
+        let collect = self.collect_telemetry;
+        let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn({
+                        let next = &next;
+                        move || {
+                            if collect {
+                                com_obs::install();
+                            }
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                out.push((i, f(i, &jobs[i])));
+                            }
+                            if collect {
+                                com_obs::uninstall();
+                            }
+                            out
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Replay the full (matcher × seed) grid on one instance, in spec-major
+/// order (`specs[0]` × every seed, then `specs[1]` × every seed, …).
+/// Each cell builds a fresh matcher from its spec and seeds its RNG from
+/// the cell's own seed, so the output is independent of thread count.
+pub fn run_grid(
+    runner: &SweepRunner,
+    instance: &Instance,
+    specs: &[MatcherSpec],
+    seeds: &[u64],
+) -> Vec<RunResult> {
+    let jobs: Vec<(MatcherSpec, u64)> = specs
+        .iter()
+        .flat_map(|spec| seeds.iter().map(move |&seed| (*spec, seed)))
+        .collect();
+    runner.map(jobs, |_, (spec, seed)| {
+        let mut matcher = spec.build();
+        run_online(instance, matcher.as_mut(), *seed)
+    })
+}
+
+/// Merge the telemetry reports of a slice of runs (in run order) into
+/// one report labelled `label`. Runs without telemetry contribute
+/// nothing; returns `None` when no run carried a report.
+pub fn merged_telemetry(label: &str, runs: &[RunResult]) -> Option<RunTelemetry> {
+    let reports: Vec<RunTelemetry> = runs.iter().filter_map(|r| r.telemetry.clone()).collect();
+    if reports.is_empty() {
+        return None;
+    }
+    Some(RunTelemetry::merged(label, &reports))
+}
+
+/// The deterministic projection of a run: everything the matcher decided
+/// (assignments, payments, travel) plus derived revenue metrics and
+/// telemetry *counters*, excluding wall-clock measurements
+/// (`decision_nanos`, latency histograms, memory gauges) which legitimately
+/// vary between executions. Byte-identical across thread counts and runs.
+pub fn canonical_run_json(run: &RunResult) -> serde_json::Value {
+    let assignments: Vec<serde_json::Value> = run
+        .assignments
+        .iter()
+        .map(|a| {
+            serde_json::json!({
+                "request": a.request.id.0,
+                "platform": a.request.platform.0,
+                "kind": format!("{:?}", a.kind),
+                "worker": a.worker.map(|w| w.0),
+                "worker_platform": a.worker_platform.map(|p| p.0),
+                "outer_payment": a.outer_payment,
+                "was_cooperative_offer": a.was_cooperative_offer,
+                "travel_km": a.travel_km,
+                "decided_at": a.decided_at.as_secs(),
+            })
+        })
+        .collect();
+    let counters: Vec<serde_json::Value> = run
+        .telemetry
+        .as_ref()
+        .map(|t| {
+            t.counters
+                .iter()
+                .map(|c| serde_json::json!({"name": c.name, "value": c.value}))
+                .collect()
+        })
+        .unwrap_or_default();
+    serde_json::json!({
+        "algorithm": run.algorithm,
+        "assignments": assignments,
+        "total_revenue": run.total_revenue(),
+        "completed": run.completed(),
+        "cooperative": run.cooperative_count(),
+        "acceptance_ratio": run.acceptance_ratio(),
+        "counters": counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_job_order_across_thread_counts() {
+        let jobs: Vec<usize> = (0..97).collect();
+        let serial = SweepRunner::serial().map(jobs.clone(), |i, j| (i, j * 3));
+        for threads in [2, 4, 7] {
+            let parallel = SweepRunner::new(threads).map(jobs.clone(), |i, j| (i, j * 3));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        assert!(SweepRunner::new(0).threads() >= 1);
+        assert_eq!(SweepRunner::serial().threads(), 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<u32> = SweepRunner::new(4).map(Vec::<u32>::new(), |_, j| *j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn telemetry_collection_attaches_reports_in_parallel() {
+        use com_datagen::{generate, synthetic, SyntheticParams};
+        let instance = generate(&synthetic(SyntheticParams {
+            n_requests: 60,
+            n_workers: 20,
+            ..Default::default()
+        }));
+        let specs = [MatcherSpec::Tota, MatcherSpec::DemCom];
+        let runner = SweepRunner::new(2).with_telemetry(true);
+        let runs = run_grid(&runner, &instance, &specs, &[1, 2]);
+        assert_eq!(runs.len(), 4);
+        for run in &runs {
+            let t = run
+                .telemetry
+                .as_ref()
+                .expect("collector installed per worker");
+            assert_eq!(t.algorithm, run.algorithm);
+            assert!(t.phase(com_obs::PHASE_DECISION).is_some());
+        }
+        let merged = merged_telemetry("all", &runs).unwrap();
+        let per_run: u64 = runs
+            .iter()
+            .map(|r| {
+                r.telemetry
+                    .as_ref()
+                    .and_then(|t| t.phase(com_obs::PHASE_DECISION))
+                    .map_or(0, |p| p.count)
+            })
+            .sum();
+        assert_eq!(
+            merged.phase(com_obs::PHASE_DECISION).unwrap().count,
+            per_run
+        );
+    }
+}

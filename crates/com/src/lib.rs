@@ -27,16 +27,35 @@
 //! });
 //! let instance = generate(&scenario);
 //!
-//! // Run the paper's randomized algorithm…
-//! let ramcom = run_online(&instance, &mut RamCom::default(), 42);
-//! // …and the single-platform baseline.
-//! let tota = run_online(&instance, &mut TotaGreedy, 42);
+//! // Algorithms are built through the matcher registry: parse a spec
+//! // string ("tota", "demcom", "ramcom", "greedy-rt", "route-aware:2.5")
+//! // and mint a fresh matcher per run.
+//! let registry = MatcherRegistry::builtin();
+//! let mut ramcom = registry.build("ramcom").unwrap();
+//! let mut tota = registry.build("tota").unwrap();
 //!
-//! assert!(ramcom.total_revenue() >= tota.total_revenue());
+//! let ramcom_run = run_online(&instance, ramcom.as_mut(), 42);
+//! let tota_run = run_online(&instance, tota.as_mut(), 42);
+//! assert!(ramcom_run.total_revenue() >= tota_run.total_revenue());
+//!
+//! // Unknown specs are a `Result`, not a panic — the error lists the
+//! // valid spec templates.
+//! assert!(registry.build("uber-dispatch").is_err());
+//!
+//! // Whole (matcher × seed) grids run through the deterministic sweep
+//! // runner: identical results for any worker-thread count.
+//! let runs = run_grid(
+//!     &SweepRunner::new(2),
+//!     &instance,
+//!     &[MatcherSpec::Tota, MatcherSpec::RamCom],
+//!     &[42, 43],
+//! );
+//! assert_eq!(runs.len(), 4);
 //! ```
 //!
 //! See `examples/` for full scenarios and `crates/bench` for the
-//! experiment harness (`cargo run -p com-bench --release --bin repro`).
+//! experiment harness (`cargo run -p com-bench --release --bin repro`,
+//! `--threads N` to parallelise).
 
 pub use com_bench as bench;
 pub use com_core as core;
@@ -51,12 +70,13 @@ pub use com_stream as stream;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
+    pub use com_bench::runner::{canonical_run_json, merged_telemetry, run_grid, SweepRunner};
     pub use com_core::{
         competitive_ratio_random_order, offline_solve, run_online, Assignment, Decision, DemCom,
-        DemComConfig, EventStream, GreedyRt, Instance, MatchKind, OfflineMode, OnlineMatcher,
-        PlatformId, RamCom, RamComConfig, RequestId, RequestSpec, RouteAwareCom, RunResult,
-        ServiceModel, StreamInfo, ThresholdMode, Timestamp, TotaGreedy, Value, WorkerId,
-        WorkerSpec, World, WorldConfig,
+        DemComConfig, EventStream, GreedyRt, Instance, MatchKind, MatcherEntry, MatcherFactory,
+        MatcherRegistry, MatcherSpec, OfflineMode, OnlineMatcher, PlatformId, RamCom, RamComConfig,
+        RequestId, RequestSpec, RouteAwareCom, RunResult, ServiceModel, SpecError, StreamInfo,
+        ThresholdMode, Timestamp, TotaGreedy, Value, WorkerId, WorkerSpec, World, WorldConfig,
     };
     pub use com_datagen::{
         chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, DailyProfile, Hotspot,
@@ -79,5 +99,11 @@ mod tests {
         let _ = DemCom::default();
         let _ = RamCom::default();
         let _ = Point::new(1.0, 2.0);
+        let _ = MatcherRegistry::builtin();
+        let _ = SweepRunner::serial();
+        assert!(matches!(
+            "route-aware:2.5".parse::<MatcherSpec>(),
+            Ok(MatcherSpec::RouteAware { .. })
+        ));
     }
 }

@@ -27,6 +27,10 @@
 //!   timing each decision.
 //! * [`ratio`] — empirical competitive-ratio measurement under the
 //!   adversarial and random-order models (Definitions 2.7/2.8).
+//! * [`registry`] — the algorithm-construction API: [`MatcherSpec`]
+//!   parses CLI strings like `"ramcom"` or `"route-aware:2.5"`, and
+//!   [`MatcherRegistry`] maps spec strings to `Send + Sync` factories
+//!   minting fresh matchers per run (`Result`-based lookup, no panics).
 //! * [`travel`] — route-aware matching with a pickup-distance cap (the
 //!   paper's §VII future-work direction), plus per-assignment travel
 //!   accounting.
@@ -39,6 +43,7 @@ pub mod matcher;
 pub mod offline;
 pub mod ramcom;
 pub mod ratio;
+pub mod registry;
 pub mod timeline;
 pub mod tota;
 pub mod travel;
@@ -51,6 +56,7 @@ pub use matcher::{Decision, OnlineMatcher, StreamInfo};
 pub use offline::{offline_solve, OfflineMode, OfflineResult};
 pub use ramcom::RamCom;
 pub use ratio::{competitive_ratio_random_order, CrReport};
+pub use registry::{MatcherEntry, MatcherFactory, MatcherRegistry, MatcherSpec, SpecError};
 pub use timeline::{hourly_timeline, HourlyBucket};
 pub use tota::{GreedyRt, TotaGreedy};
 pub use travel::RouteAwareCom;

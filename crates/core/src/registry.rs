@@ -1,0 +1,493 @@
+//! Matcher construction as a first-class API.
+//!
+//! Every entry point that turns an algorithm *name* into a runnable
+//! matcher goes through here: [`MatcherSpec`] is the parsed form of CLI
+//! strings like `"ramcom"` or `"route-aware:2.5"`, and
+//! [`MatcherRegistry`] maps spec strings to `Send + Sync` factories that
+//! mint a fresh `Box<dyn OnlineMatcher>` per run. Lookup is
+//! `Result`-based — an unknown name is a [`SpecError`] listing the valid
+//! specs, never a panic — and the registry is iterable, so harness code
+//! (`simulate`, `repro`, the experiment modules) can enumerate what it
+//! can build from one source of truth.
+//!
+//! Factories rather than matchers are the unit of registration because a
+//! matcher is stateful across one replay (`begin`/`decide`) and must not
+//! be shared between runs; a factory can be cloned into worker threads
+//! and invoked once per (instance × seed) cell of a sweep.
+//!
+//! ```
+//! use com_core::registry::{MatcherRegistry, MatcherSpec};
+//!
+//! let registry = MatcherRegistry::builtin();
+//! // Fixed-name lookup…
+//! let factory = registry.resolve("ramcom").unwrap();
+//! assert_eq!(factory().name(), "RamCOM");
+//! // …and parameterised specs parse through the same call.
+//! let capped = registry.resolve("route-aware:2.5").unwrap();
+//! assert_eq!(capped().name(), "RouteAware");
+//! // Unknown names are errors, not panics.
+//! assert!(registry.resolve("simulated-annealing").is_err());
+//! // The paper's presentation order, for experiment tables.
+//! let names: Vec<&str> = MatcherSpec::standard().iter().map(|s| s.display_name()).collect();
+//! assert_eq!(names, ["TOTA", "DemCOM", "RamCOM"]);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::matcher::OnlineMatcher;
+use crate::{DemCom, GreedyRt, RamCom, RouteAwareCom, TotaGreedy};
+
+/// A `Send + Sync` factory minting a fresh matcher per run. Clone it into
+/// as many worker threads as the sweep needs; every invocation returns an
+/// independent, state-free-at-`begin` matcher.
+pub type MatcherFactory = Arc<dyn Fn() -> Box<dyn OnlineMatcher> + Send + Sync>;
+
+/// A parsed matcher specification: which built-in algorithm to construct,
+/// with its parameters. This is the canonical, copyable description of a
+/// matcher — experiments store `MatcherSpec`s, not matchers, and build
+/// fresh instances per (cell, seed) job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatcherSpec {
+    /// Single-platform greedy baseline (`"tota"`).
+    Tota,
+    /// Random-threshold baseline (`"greedy-rt"`).
+    GreedyRt,
+    /// Deterministic COM, Algorithm 1 (`"demcom"`).
+    DemCom,
+    /// Randomized COM, Algorithm 3 (`"ramcom"`).
+    RamCom,
+    /// DemCOM with a pickup-distance cap (`"route-aware:<cap-km>"`).
+    RouteAware { pickup_cap_km: f64 },
+}
+
+impl MatcherSpec {
+    /// Every accepted spec shape, for error messages and `--help` text.
+    pub const TEMPLATES: [&'static str; 5] = [
+        "tota",
+        "greedy-rt",
+        "demcom",
+        "ramcom",
+        "route-aware:<cap-km>",
+    ];
+
+    /// The paper's three headline algorithms in presentation order
+    /// (every table and figure compares exactly these).
+    pub fn standard() -> [MatcherSpec; 3] {
+        [MatcherSpec::Tota, MatcherSpec::DemCom, MatcherSpec::RamCom]
+    }
+
+    /// Parse a spec string. Accepts canonical lowercase names
+    /// (`"demcom"`), the display names used in reports (`"DemCOM"`), and
+    /// the parameterised `"route-aware:<cap-km>"` form.
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
+        spec.parse()
+    }
+
+    /// The canonical spec string (round-trips through [`MatcherSpec::parse`]).
+    pub fn canonical(&self) -> String {
+        match self {
+            MatcherSpec::Tota => "tota".into(),
+            MatcherSpec::GreedyRt => "greedy-rt".into(),
+            MatcherSpec::DemCom => "demcom".into(),
+            MatcherSpec::RamCom => "ramcom".into(),
+            MatcherSpec::RouteAware { pickup_cap_km } => format!("route-aware:{pickup_cap_km}"),
+        }
+    }
+
+    /// The display name the built matcher reports (`OnlineMatcher::name`).
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            MatcherSpec::Tota => "TOTA",
+            MatcherSpec::GreedyRt => "Greedy-RT",
+            MatcherSpec::DemCom => "DemCOM",
+            MatcherSpec::RamCom => "RamCOM",
+            MatcherSpec::RouteAware { .. } => "RouteAware",
+        }
+    }
+
+    /// Construct a fresh matcher for one run.
+    pub fn build(&self) -> Box<dyn OnlineMatcher> {
+        match *self {
+            MatcherSpec::Tota => Box::new(TotaGreedy),
+            MatcherSpec::GreedyRt => Box::new(GreedyRt::default()),
+            MatcherSpec::DemCom => Box::new(DemCom::default()),
+            MatcherSpec::RamCom => Box::new(RamCom::default()),
+            MatcherSpec::RouteAware { pickup_cap_km } => {
+                Box::new(RouteAwareCom::with_cap(pickup_cap_km))
+            }
+        }
+    }
+
+    /// A shareable factory for this spec.
+    pub fn factory(&self) -> MatcherFactory {
+        let spec = *self;
+        Arc::new(move || spec.build())
+    }
+}
+
+impl FromStr for MatcherSpec {
+    type Err = SpecError;
+
+    fn from_str(spec: &str) -> Result<Self, SpecError> {
+        let lower = spec.trim().to_ascii_lowercase();
+        if let Some(arg) = lower
+            .strip_prefix("route-aware:")
+            .or_else(|| lower.strip_prefix("routeaware:"))
+        {
+            let cap: f64 = arg.parse().map_err(|_| SpecError::BadParam {
+                spec: spec.to_string(),
+                reason: format!("`{arg}` is not a number of kilometres"),
+            })?;
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(SpecError::BadParam {
+                    spec: spec.to_string(),
+                    reason: format!("pickup cap must be positive, got {cap}"),
+                });
+            }
+            return Ok(MatcherSpec::RouteAware { pickup_cap_km: cap });
+        }
+        match lower.as_str() {
+            "tota" => Ok(MatcherSpec::Tota),
+            "greedy-rt" | "greedyrt" => Ok(MatcherSpec::GreedyRt),
+            "demcom" => Ok(MatcherSpec::DemCom),
+            "ramcom" => Ok(MatcherSpec::RamCom),
+            // Bare `route-aware` without a cap: point at the template.
+            "route-aware" | "routeaware" => Err(SpecError::BadParam {
+                spec: spec.to_string(),
+                reason: "route-aware needs a pickup cap: route-aware:<cap-km>".into(),
+            }),
+            _ => Err(SpecError::Unknown {
+                spec: spec.to_string(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for MatcherSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// Why a spec string failed to resolve. `Display` always names the valid
+/// specs so CLI users see the menu, not a stack trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The name matches no registered matcher and no built-in family.
+    Unknown { spec: String },
+    /// The family is known but its parameter is malformed.
+    BadParam { spec: String, reason: String },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Unknown { spec } => write!(
+                f,
+                "unknown matcher spec `{spec}` (valid specs: {})",
+                MatcherSpec::TEMPLATES.join(", ")
+            ),
+            SpecError::BadParam { spec, reason } => write!(
+                f,
+                "bad matcher spec `{spec}`: {reason} (valid specs: {})",
+                MatcherSpec::TEMPLATES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One registered matcher: a canonical name, the display name its runs
+/// report under, a one-line summary, and the factory.
+pub struct MatcherEntry {
+    name: String,
+    display_name: String,
+    summary: String,
+    factory: MatcherFactory,
+}
+
+impl MatcherEntry {
+    /// Canonical spec string (the lookup key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name this matcher's runs report under.
+    pub fn display_name(&self) -> &str {
+        &self.display_name
+    }
+
+    /// One-line human description.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// Mint a fresh matcher.
+    pub fn build(&self) -> Box<dyn OnlineMatcher> {
+        (self.factory)()
+    }
+
+    /// Clone the factory for use on other threads.
+    pub fn factory(&self) -> MatcherFactory {
+        Arc::clone(&self.factory)
+    }
+}
+
+impl fmt::Debug for MatcherEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatcherEntry")
+            .field("name", &self.name)
+            .field("display_name", &self.display_name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The registry: an ordered set of named matcher factories plus the
+/// parameterised built-in families ([`MatcherSpec::parse`] handles specs
+/// containing `:`). `Default`/[`MatcherRegistry::builtin`] registers the
+/// four fixed-name built-ins; [`MatcherRegistry::register`] adds custom
+/// algorithms without touching harness code.
+#[derive(Default)]
+pub struct MatcherRegistry {
+    entries: Vec<MatcherEntry>,
+}
+
+impl MatcherRegistry {
+    /// An empty registry (register everything yourself).
+    pub fn empty() -> Self {
+        MatcherRegistry::default()
+    }
+
+    /// Every built-in fixed-name algorithm, in presentation order.
+    /// Parameterised families (`route-aware:<cap-km>`) resolve through
+    /// [`MatcherRegistry::resolve`] without being listed as entries.
+    pub fn builtin() -> Self {
+        let mut r = MatcherRegistry::empty();
+        for (spec, summary) in [
+            (
+                MatcherSpec::Tota,
+                "single-platform greedy baseline (Tong et al. ICDE'16)",
+            ),
+            (
+                MatcherSpec::GreedyRt,
+                "random value-threshold baseline (source of RamCOM's randomisation)",
+            ),
+            (
+                MatcherSpec::DemCom,
+                "deterministic COM: inner first, then minimum outer payment (Alg. 1)",
+            ),
+            (
+                MatcherSpec::RamCom,
+                "randomized COM: value-threshold routing + expected-revenue pricing (Alg. 3)",
+            ),
+        ] {
+            r.register_spec(spec, summary);
+        }
+        r
+    }
+
+    /// Register a built-in spec under its canonical name.
+    pub fn register_spec(&mut self, spec: MatcherSpec, summary: &str) {
+        self.register(
+            spec.canonical(),
+            spec.display_name().to_string(),
+            summary.to_string(),
+            spec.factory(),
+        );
+    }
+
+    /// Register a custom factory. A later registration under an existing
+    /// name replaces the earlier one (latest wins), so callers can
+    /// override a built-in with a tuned configuration.
+    pub fn register(
+        &mut self,
+        name: String,
+        display_name: String,
+        summary: String,
+        factory: MatcherFactory,
+    ) {
+        let name = name.to_ascii_lowercase();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.display_name = display_name;
+            e.summary = summary;
+            e.factory = factory;
+        } else {
+            self.entries.push(MatcherEntry {
+                name,
+                display_name,
+                summary,
+                factory,
+            });
+        }
+    }
+
+    /// Resolve a spec string to a factory: registered entries first
+    /// (case-insensitive), then the parameterised built-in families.
+    pub fn resolve(&self, spec: &str) -> Result<MatcherFactory, SpecError> {
+        let lower = spec.trim().to_ascii_lowercase();
+        if let Some(e) = self.entries.iter().find(|e| e.name == lower) {
+            return Ok(e.factory());
+        }
+        // Parameterised forms (anything carrying an argument) fall through
+        // to the spec parser; bare names must be registered entries so the
+        // error menu reflects what this registry actually offers.
+        if lower.contains(':') {
+            return MatcherSpec::parse(spec).map(|parsed| parsed.factory());
+        }
+        Err(SpecError::Unknown {
+            spec: spec.to_string(),
+        })
+    }
+
+    /// Build a fresh matcher straight from a spec string.
+    pub fn build(&self, spec: &str) -> Result<Box<dyn OnlineMatcher>, SpecError> {
+        self.resolve(spec).map(|f| f())
+    }
+
+    /// Iterate the registered entries in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &MatcherEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entry is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every spec this registry accepts: registered names plus the
+    /// parameterised templates. This is the menu CLI errors print.
+    pub fn known_specs(&self) -> Vec<String> {
+        let mut specs: Vec<String> = self.entries.iter().map(|e| e.name.clone()).collect();
+        specs.push("route-aware:<cap-km>".into());
+        specs
+    }
+}
+
+impl fmt::Debug for MatcherRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatcherRegistry")
+            .field("entries", &self.entries)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_fixed_names_and_aliases() {
+        assert_eq!(MatcherSpec::parse("tota").unwrap(), MatcherSpec::Tota);
+        assert_eq!(MatcherSpec::parse("TOTA").unwrap(), MatcherSpec::Tota);
+        assert_eq!(MatcherSpec::parse("DemCOM").unwrap(), MatcherSpec::DemCom);
+        assert_eq!(MatcherSpec::parse("ramcom").unwrap(), MatcherSpec::RamCom);
+        assert_eq!(
+            MatcherSpec::parse("Greedy-RT").unwrap(),
+            MatcherSpec::GreedyRt
+        );
+    }
+
+    #[test]
+    fn parse_route_aware_cap() {
+        let spec = MatcherSpec::parse("route-aware:2.5").unwrap();
+        assert_eq!(spec, MatcherSpec::RouteAware { pickup_cap_km: 2.5 });
+        assert_eq!(spec.canonical(), "route-aware:2.5");
+        assert_eq!(spec.build().name(), "RouteAware");
+    }
+
+    #[test]
+    fn bad_specs_error_with_the_menu() {
+        let err = MatcherSpec::parse("hungarian").unwrap_err();
+        assert!(matches!(err, SpecError::Unknown { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("hungarian"), "{msg}");
+        assert!(msg.contains("route-aware:<cap-km>"), "{msg}");
+        assert!(msg.contains("ramcom"), "{msg}");
+
+        for bad in [
+            "route-aware:",
+            "route-aware:abc",
+            "route-aware:-1",
+            "route-aware",
+        ] {
+            let err = MatcherSpec::parse(bad).unwrap_err();
+            assert!(matches!(err, SpecError::BadParam { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        for spec in [
+            MatcherSpec::Tota,
+            MatcherSpec::GreedyRt,
+            MatcherSpec::DemCom,
+            MatcherSpec::RamCom,
+            MatcherSpec::RouteAware { pickup_cap_km: 1.5 },
+        ] {
+            assert_eq!(MatcherSpec::parse(&spec.canonical()).unwrap(), spec);
+            assert_eq!(spec.build().name(), spec.display_name());
+        }
+    }
+
+    #[test]
+    fn registry_resolves_and_lists() {
+        let r = MatcherRegistry::builtin();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.resolve("RamCOM").unwrap()().name(), "RamCOM");
+        assert_eq!(r.resolve("route-aware:1.0").unwrap()().name(), "RouteAware");
+        assert!(r.resolve("nope").is_err());
+        let specs = r.known_specs();
+        assert!(specs.contains(&"demcom".to_string()));
+        assert!(specs.contains(&"route-aware:<cap-km>".to_string()));
+    }
+
+    #[test]
+    fn factories_mint_independent_matchers() {
+        let f = MatcherSpec::RamCom.factory();
+        let a = f();
+        let b = f();
+        // Two boxes, not one shared matcher.
+        assert_ne!(
+            a.as_ref() as *const dyn OnlineMatcher as *const () as usize,
+            b.as_ref() as *const dyn OnlineMatcher as *const () as usize
+        );
+    }
+
+    #[test]
+    fn custom_registration_and_override() {
+        let mut r = MatcherRegistry::builtin();
+        r.register(
+            "my-capped".into(),
+            "RouteAware".into(),
+            "route-aware with a tuned cap".into(),
+            MatcherSpec::RouteAware { pickup_cap_km: 0.7 }.factory(),
+        );
+        assert_eq!(r.resolve("my-capped").unwrap()().name(), "RouteAware");
+        // Latest wins on re-registration.
+        r.register(
+            "my-capped".into(),
+            "TOTA".into(),
+            "now something else".into(),
+            MatcherSpec::Tota.factory(),
+        );
+        assert_eq!(r.resolve("my-capped").unwrap()().name(), "TOTA");
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn factories_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let f = MatcherSpec::DemCom.factory();
+        assert_send_sync(&f);
+        let r = MatcherRegistry::builtin();
+        assert_send_sync(&r);
+    }
+}

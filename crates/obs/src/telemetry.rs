@@ -49,6 +49,64 @@ impl RunTelemetry {
         self.phases.iter().find(|p| p.phase == name)
     }
 
+    /// Merge several per-run (or per-thread) reports into one, labelled
+    /// `algorithm`. Used by the parallel sweep runner to fold the
+    /// collectors its worker threads filled into a single report.
+    ///
+    /// Counters sum exactly and gauges keep the max-of-max (with the last
+    /// report's `last`). Phase `count`/`total_ns`/`max_ns`/`mean_ns` merge
+    /// exactly; the streaming histograms behind `p50/p90/p99` are drained
+    /// when each report is built, so merged percentiles are the
+    /// count-weighted mean of the inputs' percentiles — an approximation
+    /// adequate for cross-thread summaries (per-run reports stay exact).
+    ///
+    /// The fold visits `reports` in slice order, so merging is
+    /// deterministic when callers order reports deterministically (the
+    /// sweep runner orders them by job index, independent of scheduling).
+    pub fn merged(algorithm: &str, reports: &[RunTelemetry]) -> RunTelemetry {
+        let mut out = RunTelemetry {
+            algorithm: algorithm.to_string(),
+            ..RunTelemetry::default()
+        };
+        for report in reports {
+            for p in &report.phases {
+                match out.phases.iter_mut().find(|q| q.phase == p.phase) {
+                    Some(q) => {
+                        let (n0, n1) = (q.count as f64, p.count as f64);
+                        let total = (n0 + n1).max(1.0);
+                        q.mean_ns = (q.mean_ns * n0 + p.mean_ns * n1) / total;
+                        q.p50_ns = ((q.p50_ns as f64 * n0 + p.p50_ns as f64 * n1) / total) as u64;
+                        q.p90_ns = ((q.p90_ns as f64 * n0 + p.p90_ns as f64 * n1) / total) as u64;
+                        q.p99_ns = ((q.p99_ns as f64 * n0 + p.p99_ns as f64 * n1) / total) as u64;
+                        q.count += p.count;
+                        q.max_ns = q.max_ns.max(p.max_ns);
+                        q.total_ns += p.total_ns;
+                    }
+                    None => out.phases.push(p.clone()),
+                }
+            }
+            for c in &report.counters {
+                match out.counters.iter_mut().find(|d| d.name == c.name) {
+                    Some(d) => d.value += c.value,
+                    None => out.counters.push(c.clone()),
+                }
+            }
+            for g in &report.gauges {
+                match out.gauges.iter_mut().find(|h| h.name == g.name) {
+                    Some(h) => {
+                        h.last = g.last;
+                        h.max = h.max.max(g.max);
+                    }
+                    None => out.gauges.push(g.clone()),
+                }
+            }
+        }
+        out.phases.sort_by(|a, b| a.phase.cmp(&b.phase));
+        out.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        out.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
@@ -58,5 +116,78 @@ impl RunTelemetry {
 
     pub fn gauge(&self, name: &str) -> Option<&GaugeStat> {
         self.gauges.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, count: u64, total: u128, max: u64) -> PhaseStats {
+        PhaseStats {
+            phase: name.to_string(),
+            count,
+            mean_ns: total as f64 / count.max(1) as f64,
+            p50_ns: max / 2,
+            p90_ns: max,
+            p99_ns: max,
+            max_ns: max,
+            total_ns: total,
+        }
+    }
+
+    #[test]
+    fn merged_sums_counters_and_folds_phases() {
+        let a = RunTelemetry {
+            algorithm: "A".into(),
+            phases: vec![phase("decision", 4, 400, 200)],
+            counters: vec![CounterStat {
+                name: "grid.cells_scanned".into(),
+                value: 10,
+            }],
+            gauges: vec![GaugeStat {
+                name: "world.approx_bytes".into(),
+                last: 5.0,
+                max: 9.0,
+            }],
+        };
+        let b = RunTelemetry {
+            algorithm: "B".into(),
+            phases: vec![phase("decision", 6, 1200, 500), phase("pricing", 2, 20, 15)],
+            counters: vec![
+                CounterStat {
+                    name: "grid.cells_scanned".into(),
+                    value: 5,
+                },
+                CounterStat {
+                    name: "mc.samples".into(),
+                    value: 7,
+                },
+            ],
+            gauges: vec![GaugeStat {
+                name: "world.approx_bytes".into(),
+                last: 3.0,
+                max: 4.0,
+            }],
+        };
+        let m = RunTelemetry::merged("merged", &[a, b]);
+        assert_eq!(m.algorithm, "merged");
+        let d = m.phase("decision").unwrap();
+        assert_eq!(d.count, 10);
+        assert_eq!(d.total_ns, 1600);
+        assert_eq!(d.max_ns, 500);
+        assert!((d.mean_ns - 160.0).abs() < 1e-9);
+        assert_eq!(m.phase("pricing").unwrap().count, 2);
+        assert_eq!(m.counter("grid.cells_scanned"), Some(15));
+        assert_eq!(m.counter("mc.samples"), Some(7));
+        let g = m.gauge("world.approx_bytes").unwrap();
+        assert_eq!(g.max, 9.0);
+        assert_eq!(g.last, 3.0);
+    }
+
+    #[test]
+    fn merged_of_empty_is_empty() {
+        let m = RunTelemetry::merged("none", &[]);
+        assert!(m.phases.is_empty() && m.counters.is_empty() && m.gauges.is_empty());
     }
 }
