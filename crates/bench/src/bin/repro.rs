@@ -18,7 +18,18 @@
 //!                               --threads 1 = old serial behaviour).
 //!                               Decided results are bit-identical for
 //!                               every N; only wall-clock fields vary.
+//!   --strict                    exit non-zero if the always-on run
+//!                               auditor recorded any finding (refused
+//!                               decisions, invariant violations, or
+//!                               panicking sweep cells).
 //! ```
+//!
+//! Every grid cell already runs through the fallible engine and the
+//! post-run auditor (`run_grid_audited` inside the experiment modules);
+//! findings land in `com_core`'s global audit recorder. This binary
+//! drains that recorder after each experiment and prints a summary —
+//! with `--strict` any finding fails the process, which is how CI keeps
+//! the paper invariants honest in release builds.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -36,6 +47,7 @@ struct Args {
     quick: bool,
     out: PathBuf,
     threads: usize,
+    strict: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,10 +55,12 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut out = PathBuf::from("results");
     let mut threads = 0; // all cores
+    let mut strict = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--strict" => strict = true,
             "--out" => {
                 out = PathBuf::from(argv.next().expect("--out needs a directory"));
             }
@@ -58,7 +72,7 @@ fn parse_args() -> Args {
                     .expect("--threads must be an integer (0 = all cores)");
             }
             "--help" | "-h" => {
-                println!("usage: repro <table5|table6|table7|fig5r|fig5w|fig5rad|cr|ablation|all> [--quick] [--out DIR] [--threads N]");
+                println!("usage: repro <table5|table6|table7|fig5r|fig5w|fig5rad|cr|ablation|all> [--quick] [--out DIR] [--threads N] [--strict]");
                 std::process::exit(0);
             }
             other => experiments.push(other.to_string()),
@@ -72,6 +86,7 @@ fn parse_args() -> Args {
         quick,
         out,
         threads,
+        strict,
     }
 }
 
@@ -196,6 +211,7 @@ fn main() {
         args.out.display()
     );
 
+    let mut audit_total: u64 = 0;
     for name in &list {
         let started = Instant::now();
         CountingAllocator::reset_peak();
@@ -211,10 +227,37 @@ fn main() {
                 std::process::exit(2);
             }
         }
+        // Every grid cell in the experiment above went through the
+        // fallible engine + post-run auditor; drain what they recorded.
+        let (total, sample) = com_core::take_findings();
+        audit_total += total;
+        if total > 0 {
+            eprintln!("[{name}] audit: {total} finding(s)");
+            for f in &sample {
+                eprintln!("  [{}] {}", f.context, f.finding);
+            }
+            if (sample.len() as u64) < total {
+                eprintln!(
+                    "  ... and {} more (sample capped)",
+                    total - sample.len() as u64
+                );
+            }
+        }
         println!(
-            "[{name}] done in {:.1}s (process peak heap {:.1} MiB)\n",
+            "[{name}] done in {:.1}s (process peak heap {:.1} MiB, audit findings {total})\n",
             started.elapsed().as_secs_f64(),
             CountingAllocator::peak_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
+
+    if audit_total == 0 {
+        println!("audit: clean across {} experiment(s)", list.len());
+    } else if args.strict {
+        eprintln!("repro: --strict and the auditor recorded {audit_total} finding(s); failing");
+        std::process::exit(1);
+    } else {
+        eprintln!(
+            "repro: auditor recorded {audit_total} finding(s); rerun with --strict to fail on these"
         );
     }
 }

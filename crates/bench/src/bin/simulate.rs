@@ -6,7 +6,7 @@
 //!      | --workers-csv W.csv --requests-csv R.csv [--platforms "A,B"]] \
 //!     [--algo tota|demcom|ramcom|greedy-rt|route-aware:<cap-km>|all] \
 //!     [--seed N] [--metric euclidean|manhattan] [--json out.json] \
-//!     [--stats] [--trace out.jsonl] [--threads N]
+//!     [--stats] [--trace out.jsonl] [--threads N] [--strict]
 //! ```
 //!
 //! Algorithm names resolve through `com-core`'s `MatcherRegistry` — the
@@ -28,6 +28,13 @@
 //! changes any decision or revenue: identical seeds give identical
 //! results with instrumentation on or off.
 //!
+//! Every run goes through the fallible engine (`try_run_online`) and the
+//! post-run auditor (`com_core::validate_run`), so a matcher that emits
+//! an invalid decision produces a structured per-request failure record
+//! instead of aborting the whole sweep. Findings are printed after the
+//! results table; `--strict` additionally turns any finding into a
+//! non-zero exit, which is what CI wants.
+//!
 //! The config file is a serialised `com_datagen::ScenarioConfig` — dump a
 //! starting point with `--emit-config`, edit, and re-run. This is the
 //! adoption path for users with their own city data: express it as a
@@ -38,7 +45,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use com_bench::runner::{merged_telemetry, SweepRunner};
-use com_core::{run_online, MatcherFactory, MatcherRegistry, RunResult};
+use com_core::{try_run_online, validate_run, MatcherFactory, MatcherRegistry, RunResult};
 use com_datagen::{
     chengdu_nov, chengdu_oct, generate, instance_from_csv, synthetic, xian_nov, ScenarioConfig,
     SyntheticParams,
@@ -61,6 +68,7 @@ struct Args {
     stats: bool,
     trace: Option<PathBuf>,
     threads: usize,
+    strict: bool,
 }
 
 fn usage() -> ! {
@@ -69,7 +77,7 @@ fn usage() -> ! {
          | --workers-csv W.csv --requests-csv R.csv [--platforms NAMES]] \
          [--algo LIST] [--seed N] [--metric euclidean|manhattan] \
          [--json FILE] [--stats] [--trace FILE.jsonl] [--threads N] \
-         [--emit-config]"
+         [--strict] [--emit-config]"
     );
     std::process::exit(2);
 }
@@ -89,6 +97,7 @@ fn parse_args() -> Args {
         stats: false,
         trace: None,
         threads: 1,
+        strict: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -129,6 +138,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--threads must be an integer (0 = all cores)")
             }
+            "--strict" => args.strict = true,
             "--emit-config" => args.emit_config = true,
             "--help" | "-h" => usage(),
             other => {
@@ -341,14 +351,25 @@ fn main() {
     let runner = SweepRunner::new(threads).with_telemetry(args.stats || args.trace.is_some());
     let runs: Vec<RunResult> = runner.map(factories, |_, factory| {
         let mut matcher = factory();
-        run_online(&instance, matcher.as_mut(), args.seed)
+        try_run_online(&instance, matcher.as_mut(), args.seed)
     });
 
     let mut dumps = Vec::new();
     let mut reports = Vec::new();
+    let mut audit_lines = Vec::new();
     for run in &runs {
         table.push_row(report_row(run, instance.platform_names.len()));
         reports.extend(run.telemetry.clone());
+        for f in &run.failures {
+            audit_lines.push(format!(
+                "{}: request {} refused: {}",
+                run.algorithm, f.request.id, f.violation
+            ));
+        }
+        let findings = validate_run(&instance, run);
+        for f in &findings {
+            audit_lines.push(format!("{}: {f}", run.algorithm));
+        }
         dumps.push(serde_json::json!({
             "algorithm": run.algorithm,
             "revenue": run.total_revenue(),
@@ -359,9 +380,20 @@ fn main() {
             "mean_pickup_km": run.mean_pickup_km(),
             "mean_response_ms": run.mean_response_ms(),
             "peak_memory_bytes": run.peak_memory_bytes,
+            "refused_decisions": run.failures.len(),
+            "audit_findings": findings.len(),
         }));
     }
     println!("{}", table.render_ascii());
+
+    if audit_lines.is_empty() {
+        println!("audit: clean ({} run(s))", runs.len());
+    } else {
+        eprintln!("audit: {} finding(s)", audit_lines.len());
+        for line in &audit_lines {
+            eprintln!("  {line}");
+        }
+    }
 
     if args.stats || args.trace.is_some() {
         if reports.len() > 1 {
@@ -387,5 +419,10 @@ fn main() {
         )
         .expect("write json output");
         println!("results written to {}", path.display());
+    }
+
+    if args.strict && !audit_lines.is_empty() {
+        eprintln!("simulate: --strict and the audit found problems; failing");
+        std::process::exit(1);
     }
 }

@@ -42,6 +42,10 @@
 //! // valid spec templates.
 //! assert!(registry.build("uber-dispatch").is_err());
 //!
+//! // The always-on auditor re-derives every paper invariant from the
+//! // finished log; a sound matcher leaves it silent (release builds too).
+//! assert!(validate_run(&instance, &ramcom_run).is_empty());
+//!
 //! // Whole (matcher × seed) grids run through the deterministic sweep
 //! // runner: identical results for any worker-thread count.
 //! let runs = run_grid(
@@ -70,9 +74,13 @@ pub use com_stream as stream;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
-    pub use com_bench::runner::{canonical_run_json, merged_telemetry, run_grid, SweepRunner};
+    pub use com_bench::runner::{
+        canonical_run_json, merged_telemetry, run_grid, run_grid_audited, CellPanic, GridCell,
+        SweepRunner,
+    };
     pub use com_core::{
-        competitive_ratio_random_order, offline_solve, run_online, Assignment, Decision, DemCom,
+        competitive_ratio_random_order, offline_solve, run_online, try_run_online, validate_run,
+        Assignment, AuditFinding, ConstraintViolation, Decision, DecisionFailure, DemCom,
         DemComConfig, EventStream, GreedyRt, Instance, MatchKind, MatcherEntry, MatcherFactory,
         MatcherRegistry, MatcherSpec, OfflineMode, OnlineMatcher, PlatformId, RamCom, RamComConfig,
         RequestId, RequestSpec, RouteAwareCom, RunResult, ServiceModel, SpecError, StreamInfo,

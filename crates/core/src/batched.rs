@@ -109,6 +109,7 @@ pub fn run_batched(instance: &Instance, config: BatchedCom, seed: u64) -> RunRes
         final_memory_bytes: final_bytes,
         total_decision_nanos: total_nanos,
         telemetry: com_obs::end_run(),
+        failures: Vec::new(),
     }
 }
 
@@ -197,7 +198,10 @@ fn flush(
                 .collect();
             let payment = estimator.estimate(r.value, &histories, rng);
             if payment > r.value {
-                reject(r, true, decided_at)
+                // Pricing found no viable payment, so no worker was ever
+                // offered anything — this is not a cooperative offer
+                // (AcpRt counts offers actually extended, Table III).
+                reject(r, false, decided_at)
             } else {
                 let mut taken = None;
                 for ((platform, idle), history) in feasible.iter().zip(&histories) {

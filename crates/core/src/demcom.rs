@@ -83,10 +83,12 @@ impl OnlineMatcher for DemCom {
             estimator.estimate(request.value, &histories, rng)
         };
 
-        // Lines 13–14: serving would lose money.
+        // Lines 13–14: serving would lose money, so no offer is ever
+        // extended — not a cooperative offer (AcpRt's denominator counts
+        // offers actually made, Table III).
         if payment > request.value {
             return Decision::Reject {
-                was_cooperative_offer: true,
+                was_cooperative_offer: false,
             };
         }
 
@@ -259,10 +261,13 @@ mod tests {
         add_worker(&mut world, 2, 1, 5.1, vec![50.0, 60.0]);
         let mut rng = StdRng::seed_from_u64(4);
         let d = demcom().decide(&world, &request(5.0, 5.0), &mut rng);
+        // The estimated floor exceeds v_r, so the offer loop never runs:
+        // no worker was asked, and the rejection must not inflate
+        // AcpRt's denominator.
         assert_eq!(
             d,
             Decision::Reject {
-                was_cooperative_offer: true
+                was_cooperative_offer: false
             }
         );
     }

@@ -2,23 +2,46 @@
 //!
 //! Replays an [`Instance`]'s arrival stream in order against any
 //! [`OnlineMatcher`]. The engine — not the algorithms — is responsible for
-//! enforcing COM's constraints (via [`World::assign`]'s assertions),
-//! measuring per-request wall-clock decision time (the paper's "response
-//! time"), and sampling the world's memory footprint.
+//! enforcing COM's constraints, measuring per-request wall-clock decision
+//! time (the paper's "response time"), and sampling the world's memory
+//! footprint.
+//!
+//! Enforcement comes in two flavours sharing one code path:
+//! [`run_online`] panics on the first [`ConstraintViolation`] (programmer
+//! error during development), while [`try_run_online`] converts each
+//! violation into a structured [`DecisionFailure`] record — the request is
+//! logged as rejected, the world stays untouched, and the replay
+//! continues, so one misbehaving matcher cannot abort a whole sweep.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use com_sim::{ArrivalEvent, Assignment, Instance, MatchKind, RequestSpec, Value, World};
+use com_sim::{
+    ArrivalEvent, Assignment, ConstraintViolation, Instance, MatchKind, RequestSpec, Value, World,
+};
 
 use crate::matcher::{Decision, OnlineMatcher, StreamInfo};
 
 /// How often (in processed stream events — worker arrivals count too) the
-/// engine samples `World::approx_bytes` for the peak-memory metric. The
-/// final world state is always sampled regardless of run length.
+/// engine samples `World::approx_bytes` for the peak-memory metric once
+/// past the dense-sampling prefix. The first `MEMORY_SAMPLE_EVERY` events
+/// are sampled individually (bounded cost) so short runs still observe
+/// mid-run peaks, and the final world state is always sampled.
 const MEMORY_SAMPLE_EVERY: usize = 512;
+
+/// A matcher decision the engine refused to apply: which request it was
+/// deciding and which paper constraint the decision breached. Produced
+/// only by [`try_run_online`]; the panicking [`run_online`] aborts on the
+/// first violation instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionFailure {
+    /// The request being decided when the violation occurred.
+    pub request: RequestSpec,
+    /// The constraint the decision breached.
+    pub violation: ConstraintViolation,
+}
 
 /// The complete record of one online run.
 #[derive(Debug, Clone)]
@@ -37,6 +60,11 @@ pub struct RunResult {
     /// a `com-obs` collector was installed (see [`com_obs::install`]);
     /// collection never changes the run's decisions or revenue.
     pub telemetry: Option<com_obs::RunTelemetry>,
+    /// Constraint violations the engine refused to apply (always empty
+    /// for [`run_online`], which panics instead). Each failed request is
+    /// also logged as a rejected assignment so per-request accounting
+    /// stays aligned with the stream.
+    pub failures: Vec<DecisionFailure>,
 }
 
 impl RunResult {
@@ -160,6 +188,30 @@ impl RunResult {
 /// assert!(run.total_revenue() > 0.0);
 /// ```
 pub fn run_online(instance: &Instance, matcher: &mut dyn OnlineMatcher, seed: u64) -> RunResult {
+    run_online_inner(instance, matcher, seed, false)
+}
+
+/// Fallible replay: identical to [`run_online`] for a well-behaved
+/// matcher (bit-identical `RunResult` with empty `failures`), but a
+/// decision that breaches a COM constraint is refused instead of
+/// aborting the process. The offending request is logged as rejected
+/// (`was_cooperative_offer: false` — no valid offer was extended), the
+/// violation is recorded in [`RunResult::failures`], the world state is
+/// untouched, and the replay continues with the next event.
+pub fn try_run_online(
+    instance: &Instance,
+    matcher: &mut dyn OnlineMatcher,
+    seed: u64,
+) -> RunResult {
+    run_online_inner(instance, matcher, seed, true)
+}
+
+fn run_online_inner(
+    instance: &Instance,
+    matcher: &mut dyn OnlineMatcher,
+    seed: u64,
+    fallible: bool,
+) -> RunResult {
     let mut world = instance.build_world();
     let mut rng = StdRng::seed_from_u64(seed);
     let info = StreamInfo {
@@ -169,11 +221,13 @@ pub fn run_online(instance: &Instance, matcher: &mut dyn OnlineMatcher, seed: u6
     matcher.begin(&info, &mut rng);
 
     let mut assignments: Vec<Assignment> = Vec::with_capacity(instance.request_count());
+    let mut failures: Vec<DecisionFailure> = Vec::new();
     // The platform's working set: the world state plus the matching
     // record M it accumulates (the paper's memory metric covers both —
     // its Figs. 5(c)/(g) grow with |R| and |W| respectively).
     let log_bytes = |a: &Vec<Assignment>| a.capacity() * std::mem::size_of::<Assignment>();
     let mut peak = world.approx_bytes() + log_bytes(&assignments);
+    let mut log_capacity = assignments.capacity();
     let mut total_nanos = 0u64;
     let mut events = 0usize;
 
@@ -188,14 +242,40 @@ pub fn run_online(instance: &Instance, matcher: &mut dyn OnlineMatcher, seed: u6
                 let nanos = started.elapsed().as_nanos() as u64;
                 drop(span);
                 total_nanos += nanos;
-                let assignment = apply_decision(&mut world, request, decision, nanos);
-                assignments.push(assignment);
+                match try_apply_decision(&mut world, request, decision, nanos) {
+                    Ok(assignment) => assignments.push(assignment),
+                    Err(violation) if fallible => {
+                        com_obs::counter_add("engine.constraint_violations", 1);
+                        assignments.push(Assignment {
+                            request: *request,
+                            kind: MatchKind::Rejected,
+                            worker: None,
+                            worker_platform: None,
+                            outer_payment: 0.0,
+                            was_cooperative_offer: false,
+                            travel_km: 0.0,
+                            decided_at: request.arrival,
+                            decision_nanos: nanos,
+                        });
+                        failures.push(DecisionFailure {
+                            request: *request,
+                            violation,
+                        });
+                    }
+                    Err(violation) => panic!("{violation}"),
+                }
             }
         }
         // Sample on every stream event (a burst of worker arrivals grows
-        // the world without any request being processed).
+        // the world without any request being processed). Dense for the
+        // first `MEMORY_SAMPLE_EVERY` events so short runs still catch
+        // mid-run peaks, sparse afterwards — plus whenever the
+        // assignment log reallocates (a capacity jump is exactly when
+        // the footprint steps).
         events += 1;
-        if events.is_multiple_of(MEMORY_SAMPLE_EVERY) {
+        let realloc = assignments.capacity() != log_capacity;
+        if realloc || events < MEMORY_SAMPLE_EVERY || events.is_multiple_of(MEMORY_SAMPLE_EVERY) {
+            log_capacity = assignments.capacity();
             let bytes = world.approx_bytes() + log_bytes(&assignments);
             com_obs::gauge_set("world.approx_bytes", bytes as f64);
             peak = peak.max(bytes);
@@ -211,28 +291,36 @@ pub fn run_online(instance: &Instance, matcher: &mut dyn OnlineMatcher, seed: u6
         final_memory_bytes: final_bytes,
         total_decision_nanos: total_nanos,
         telemetry: com_obs::end_run(),
+        failures,
     }
 }
 
-/// Apply a matcher decision to the world, validating it, and produce the
-/// assignment record.
-fn apply_decision(
+/// Validate a matcher decision against the paper's constraints and, if
+/// sound, apply it to the world and produce the assignment record. On
+/// `Err` the world is unchanged.
+fn try_apply_decision(
     world: &mut World,
     request: &RequestSpec,
     decision: Decision,
     nanos: u64,
-) -> Assignment {
+) -> Result<Assignment, ConstraintViolation> {
     match decision {
         Decision::Inner { worker } => {
-            let w = world.worker(worker);
+            let w = world
+                .find_worker(worker)
+                .ok_or(ConstraintViolation::UnknownWorker { worker })?;
             let spec_platform = w.spec.platform;
             let travel_km = world.config().metric.distance(w.location, request.location);
-            assert_eq!(
-                spec_platform, request.platform,
-                "inner decision used a foreign worker"
-            );
-            world.assign(worker, request, request.value);
-            Assignment {
+            if spec_platform != request.platform {
+                return Err(ConstraintViolation::ForeignWorker {
+                    worker,
+                    worker_platform: spec_platform,
+                    request: request.id,
+                    request_platform: request.platform,
+                });
+            }
+            world.try_assign(worker, request, request.value)?;
+            Ok(Assignment {
                 request: *request,
                 kind: MatchKind::Inner,
                 worker: Some(worker),
@@ -242,27 +330,41 @@ fn apply_decision(
                 travel_km,
                 decided_at: request.arrival,
                 decision_nanos: nanos,
-            }
+            })
         }
         Decision::Outer {
             worker,
             platform,
             payment,
         } => {
-            let w = world.worker(worker);
+            let w = world
+                .find_worker(worker)
+                .ok_or(ConstraintViolation::UnknownWorker { worker })?;
             let spec_platform = w.spec.platform;
             let travel_km = world.config().metric.distance(w.location, request.location);
-            assert_eq!(spec_platform, platform, "outer decision platform mismatch");
-            assert_ne!(
-                spec_platform, request.platform,
-                "outer decision used an inner worker"
-            );
-            assert!(
-                payment > 0.0 && payment <= request.value + 1e-9,
-                "outer payment {payment} outside (0, v_r]"
-            );
-            world.assign(worker, request, payment);
-            Assignment {
+            if spec_platform != platform {
+                return Err(ConstraintViolation::PlatformMismatch {
+                    worker,
+                    claimed: platform,
+                    actual: spec_platform,
+                });
+            }
+            if spec_platform == request.platform {
+                return Err(ConstraintViolation::InnerWorkerAsOuter {
+                    worker,
+                    request: request.id,
+                    platform: spec_platform,
+                });
+            }
+            if !(payment > 0.0 && payment <= request.value + 1e-9) {
+                return Err(ConstraintViolation::PaymentOutOfBounds {
+                    request: request.id,
+                    payment,
+                    value: request.value,
+                });
+            }
+            world.try_assign(worker, request, payment)?;
+            Ok(Assignment {
                 request: *request,
                 kind: MatchKind::Outer,
                 worker: Some(worker),
@@ -272,11 +374,11 @@ fn apply_decision(
                 travel_km,
                 decided_at: request.arrival,
                 decision_nanos: nanos,
-            }
+            })
         }
         Decision::Reject {
             was_cooperative_offer,
-        } => Assignment {
+        } => Ok(Assignment {
             request: *request,
             kind: MatchKind::Rejected,
             worker: None,
@@ -286,7 +388,7 @@ fn apply_decision(
             travel_km: 0.0,
             decided_at: request.arrival,
             decision_nanos: nanos,
-        },
+        }),
     }
 }
 
@@ -479,5 +581,146 @@ mod tests {
         assert_eq!(result.revenue_for(PlatformId(0)), result.total_revenue());
         assert_eq!(result.revenue_for(PlatformId(1)), 0.0);
         assert_eq!(result.completed_for(PlatformId(0)), result.completed());
+    }
+
+    /// A matcher that always claims the same worker — the second request
+    /// is a 1-by-1 occupancy violation.
+    struct StuckOnOne;
+    impl OnlineMatcher for StuckOnOne {
+        fn name(&self) -> &'static str {
+            "StuckOnOne"
+        }
+        fn begin(&mut self, _: &StreamInfo, _: &mut StdRng) {}
+        fn decide(&mut self, _: &World, _: &Rq, _: &mut StdRng) -> Decision {
+            Decision::Inner {
+                worker: WorkerId(1),
+            }
+        }
+    }
+
+    /// A matcher that lends out a worker below the payment floor.
+    struct FreeLoader;
+    impl OnlineMatcher for FreeLoader {
+        fn name(&self) -> &'static str {
+            "FreeLoader"
+        }
+        fn begin(&mut self, _: &StreamInfo, _: &mut StdRng) {}
+        fn decide(&mut self, _: &World, _: &Rq, _: &mut StdRng) -> Decision {
+            Decision::Outer {
+                worker: WorkerId(3),
+                platform: PlatformId(1),
+                payment: 0.0,
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_online_matches_run_online_for_sound_matchers() {
+        let instance = example_1();
+        let strict = run_online(&instance, &mut DemCom::default(), 7);
+        let lenient = try_run_online(&instance, &mut DemCom::default(), 7);
+        assert!(lenient.failures.is_empty());
+        assert_eq!(strict.total_revenue(), lenient.total_revenue());
+        let kinds: Vec<_> = strict.assignments.iter().map(|a| a.kind).collect();
+        let kinds2: Vec<_> = lenient.assignments.iter().map(|a| a.kind).collect();
+        assert_eq!(kinds, kinds2);
+        assert!(strict.failures.is_empty());
+    }
+
+    #[test]
+    fn try_run_online_records_violations_and_continues() {
+        let instance = example_1();
+        let run = try_run_online(&instance, &mut StuckOnOne, 1);
+        // Every request got a record; w1 only covers r1 and r2, so the
+        // replay survives multiple distinct violations.
+        assert_eq!(run.assignments.len(), 5);
+        assert!(!run.failures.is_empty());
+        // r1 succeeds (w1 idle and in range); r2 finds w1 busy.
+        assert_eq!(run.assignments[0].kind, MatchKind::Inner);
+        assert_eq!(run.assignments[1].kind, MatchKind::Rejected);
+        assert!(!run.assignments[1].was_cooperative_offer);
+        assert!(matches!(
+            run.failures[0].violation,
+            com_sim::ConstraintViolation::WorkerNotIdle { .. }
+                | com_sim::ConstraintViolation::OutOfRange { .. }
+        ));
+        // Revenue only counts the requests that were actually served.
+        assert_eq!(run.total_revenue(), 4.0);
+    }
+
+    #[test]
+    fn try_run_online_rejects_zero_payments() {
+        let instance = example_1();
+        let run = try_run_online(&instance, &mut FreeLoader, 1);
+        assert!(run.failures.iter().any(|f| matches!(
+            f.violation,
+            com_sim::ConstraintViolation::PaymentOutOfBounds { .. }
+        )));
+    }
+
+    #[test]
+    #[should_panic(expected = "not idle")]
+    fn run_online_still_panics_on_violations() {
+        let instance = example_1();
+        run_online(&instance, &mut StuckOnOne, 1);
+    }
+
+    #[test]
+    fn short_runs_capture_mid_run_memory_peaks() {
+        // < 512 events: a burst of simultaneous assignments fills the
+        // re-entry queue mid-run; by the final event every worker has
+        // re-entered, so the true peak is strictly above both endpoints.
+        let p0 = PlatformId(0);
+        let ts = Timestamp::from_secs;
+        let n = 40u64;
+        let mut workers: Vec<WorkerSpec> = (1..=n)
+            .map(|i| {
+                WorkerSpec::new(
+                    WorkerId(i),
+                    p0,
+                    ts(0.0),
+                    Point::new(0.2 * i as f64, 5.0),
+                    0.5,
+                )
+            })
+            .collect();
+        // A late straggler forces the clock far past every re-entry.
+        workers.push(WorkerSpec::new(
+            WorkerId(n + 1),
+            p0,
+            ts(50_000.0),
+            Point::new(9.5, 9.5),
+            0.5,
+        ));
+        let requests: Vec<Rq> = (1..=n)
+            .map(|i| {
+                Rq::new(
+                    RequestId(i),
+                    p0,
+                    ts(10.0),
+                    Point::new(0.2 * i as f64, 5.0),
+                    1.0,
+                )
+            })
+            .collect();
+        let mut config = WorldConfig::city(10.0);
+        config.service = ServiceModel::taxi(36.0, 600.0);
+        let inst = Instance {
+            config,
+            platform_names: vec!["solo".into()],
+            histories: HashMap::new(),
+            stream: EventStream::from_specs(workers, requests),
+        };
+        let run = run_online(&inst, &mut TotaGreedy, 1);
+        assert_eq!(run.completed(), n as usize);
+        // Mid-run the re-entry queue held `n` timers; at the end it is
+        // empty again. Before dense sampling the peak collapsed onto the
+        // endpoints and this assertion failed.
+        assert!(
+            run.peak_memory_bytes > run.final_memory_bytes,
+            "peak {} not above final {}",
+            run.peak_memory_bytes,
+            run.final_memory_bytes
+        );
     }
 }

@@ -34,7 +34,12 @@
 //! * [`travel`] — route-aware matching with a pickup-distance cap (the
 //!   paper's §VII future-work direction), plus per-assignment travel
 //!   accounting.
+//! * [`audit`] — the always-on post-run auditor: [`validate_run`]
+//!   re-derives every paper invariant from a finished assignment log,
+//!   independently of the engine's own enforcement, in release builds
+//!   too.
 
+pub mod audit;
 pub mod batched;
 pub mod config;
 pub mod demcom;
@@ -48,10 +53,13 @@ pub mod timeline;
 pub mod tota;
 pub mod travel;
 
+pub use audit::{
+    record_findings, take_findings, total_findings, validate_run, AuditFinding, RecordedFinding,
+};
 pub use batched::{run_batched, BatchedCom};
 pub use config::{DemComConfig, RamComConfig, ThresholdMode};
 pub use demcom::DemCom;
-pub use engine::{run_online, RunResult};
+pub use engine::{run_online, try_run_online, DecisionFailure, RunResult};
 pub use matcher::{Decision, OnlineMatcher, StreamInfo};
 pub use offline::{offline_solve, OfflineMode, OfflineResult};
 pub use ramcom::RamCom;
@@ -63,6 +71,6 @@ pub use travel::RouteAwareCom;
 
 // Re-export the substrate façade so downstream users need only `com_core`.
 pub use com_sim::{
-    Assignment, EventStream, Instance, MatchKind, PlatformId, RequestId, RequestSpec, ServiceModel,
-    Timestamp, Value, WorkerId, WorkerSpec, World, WorldConfig,
+    Assignment, ConstraintViolation, EventStream, Instance, MatchKind, PlatformId, RequestId,
+    RequestSpec, ServiceModel, Timestamp, Value, WorkerId, WorkerSpec, World, WorldConfig,
 };

@@ -26,9 +26,12 @@ pub enum Decision {
         platform: PlatformId,
         payment: Value,
     },
-    /// Reject. `was_cooperative_offer` records whether the request was
-    /// actually offered to outer workers (it then counts in the
-    /// acceptance-ratio denominator even though nobody took it).
+    /// Reject. `was_cooperative_offer` records whether at least one
+    /// concrete offer round was run against outer workers (the request
+    /// then counts in the acceptance-ratio denominator even though
+    /// nobody took it). When pricing fails before any worker is asked,
+    /// the flag must be `false` — AcpRt counts offers actually extended
+    /// (paper Table III), not intents to offer.
     Reject { was_cooperative_offer: bool },
 }
 

@@ -77,9 +77,11 @@ impl RamCom {
             max_expected_revenue(request.value, &histories, self.config.candidates)
         };
         let Some(pricing) = pricing else {
-            // No payment in (0, v_r] yields positive expected revenue.
+            // No payment in (0, v_r] yields positive expected revenue —
+            // no worker was ever offered anything, so this is not a
+            // cooperative offer (AcpRt counts offers actually extended).
             return Decision::Reject {
-                was_cooperative_offer: true,
+                was_cooperative_offer: false,
             };
         };
         let _span = com_obs::span(com_obs::PHASE_OFFER);
@@ -280,10 +282,12 @@ mod tests {
         let (mut m, mut rng) = begun(100.0, 4);
         let small = request(5.0, (m.threshold() * 0.9).clamp(1.0, 10.0));
         let d = m.decide(&world, &small, &mut rng);
+        // Pricing yields no viable payment, so no offer is ever made:
+        // the rejection must NOT count toward AcpRt's denominator.
         assert_eq!(
             d,
             Decision::Reject {
-                was_cooperative_offer: true
+                was_cooperative_offer: false
             }
         );
     }

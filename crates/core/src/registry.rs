@@ -78,6 +78,20 @@ impl MatcherSpec {
         [MatcherSpec::Tota, MatcherSpec::DemCom, MatcherSpec::RamCom]
     }
 
+    /// One spec per built-in family — every algorithm this crate can
+    /// construct, with a representative parameter where the family needs
+    /// one. This is the fan-out set for whole-surface oracle tests: run
+    /// each through the engine and assert the auditor stays silent.
+    pub fn all_builtin() -> [MatcherSpec; 5] {
+        [
+            MatcherSpec::Tota,
+            MatcherSpec::GreedyRt,
+            MatcherSpec::DemCom,
+            MatcherSpec::RamCom,
+            MatcherSpec::RouteAware { pickup_cap_km: 2.5 },
+        ]
+    }
+
     /// Parse a spec string. Accepts canonical lowercase names
     /// (`"demcom"`), the display names used in reports (`"DemCOM"`), and
     /// the parameterised `"route-aware:<cap-km>"` form.
@@ -447,6 +461,20 @@ mod tests {
         let specs = r.known_specs();
         assert!(specs.contains(&"demcom".to_string()));
         assert!(specs.contains(&"route-aware:<cap-km>".to_string()));
+    }
+
+    #[test]
+    fn all_builtin_covers_every_family_and_resolves() {
+        let r = MatcherRegistry::builtin();
+        let specs = MatcherSpec::all_builtin();
+        assert_eq!(specs.len(), 5);
+        for spec in specs {
+            // Each canonical form resolves through the registry too.
+            assert_eq!(
+                r.resolve(&spec.canonical()).unwrap()().name(),
+                spec.display_name()
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod instance;
 pub mod outcome;
 pub mod service;
+pub mod violation;
 pub mod waiting_list;
 pub mod worker;
 pub mod world;
@@ -33,6 +34,7 @@ pub mod world;
 pub use instance::{Instance, InstanceData};
 pub use outcome::{Assignment, MatchKind};
 pub use service::ServiceModel;
+pub use violation::ConstraintViolation;
 pub use waiting_list::WaitingList;
 pub use worker::{Worker, WorkerState};
 pub use world::{World, WorldConfig};

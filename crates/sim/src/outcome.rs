@@ -28,9 +28,11 @@ pub struct Assignment {
     pub worker_platform: Option<PlatformId>,
     /// Outer payment `v'_r` (0 for inner assignments and rejections).
     pub outer_payment: Value,
-    /// Whether the request was offered to outer workers at all (a
-    /// *cooperative request* per Definition 2.3, whether or not any outer
-    /// worker accepted — the denominator of the acceptance-ratio metric).
+    /// Whether at least one concrete offer was extended to an outer
+    /// worker (a *cooperative request* per Definition 2.3, whether or not
+    /// any outer worker accepted — the denominator of the
+    /// acceptance-ratio metric). `false` when no offer round ever ran,
+    /// e.g. when pricing found no viable payment in `(0, v_r]`.
     pub was_cooperative_offer: bool,
     /// Pickup (deadhead) distance from the serving worker's location at
     /// decision time to the request, in km (0 for rejections). Feeds the

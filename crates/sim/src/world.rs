@@ -7,7 +7,7 @@ use com_pricing::WorkerHistory;
 use com_stream::{PlatformId, RequestSpec, TimerQueue, Timestamp, Value, WorkerId, WorkerSpec};
 
 use crate::waiting_list::IdleWorker;
-use crate::{ServiceModel, WaitingList, Worker, WorkerState};
+use crate::{ConstraintViolation, ServiceModel, WaitingList, Worker, WorkerState};
 
 /// Static configuration of a world.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,24 +114,54 @@ impl World {
     /// `NotArrived`).
     ///
     /// # Panics
-    /// Panics on duplicate ids or out-of-range platforms.
+    /// Panics on duplicate ids or out-of-range platforms (see
+    /// [`World::try_register_worker`] for the fallible form).
     pub fn register_worker(&mut self, spec: WorkerSpec, history: WorkerHistory) {
-        assert!(
-            spec.platform.index() < self.platform_names.len(),
-            "unknown platform {}",
-            spec.platform
-        );
-        let prev = self.workers.insert(spec.id, Worker::new(spec, history));
-        assert!(prev.is_none(), "duplicate worker id {}", spec.id);
+        if let Err(violation) = self.try_register_worker(spec, history) {
+            panic!("{violation}");
+        }
+    }
+
+    /// Fallible registration: duplicate ids and unknown platforms become
+    /// typed [`ConstraintViolation`]s. On error the world is unchanged.
+    pub fn try_register_worker(
+        &mut self,
+        spec: WorkerSpec,
+        history: WorkerHistory,
+    ) -> Result<(), ConstraintViolation> {
+        if spec.platform.index() >= self.platform_names.len() {
+            return Err(ConstraintViolation::UnknownPlatform {
+                worker: spec.id,
+                platform: spec.platform,
+            });
+        }
+        if self.workers.contains_key(&spec.id) {
+            return Err(ConstraintViolation::DuplicateWorker { worker: spec.id });
+        }
+        self.workers.insert(spec.id, Worker::new(spec, history));
+        Ok(())
     }
 
     /// Advance simulation time to `t`, processing any due re-entries.
     ///
     /// # Panics
     /// Panics if `t` is earlier than the current time (events must be
-    /// replayed in order).
+    /// replayed in order); see [`World::try_advance_to`].
     pub fn advance_to(&mut self, t: Timestamp) {
-        assert!(t >= self.now, "time must be monotone: {t} < {}", self.now);
+        if let Err(violation) = self.try_advance_to(t) {
+            panic!("{violation}");
+        }
+    }
+
+    /// Fallible clock advance: a rewind is a typed
+    /// [`ConstraintViolation::TimeRewind`] and leaves the world unchanged.
+    pub fn try_advance_to(&mut self, t: Timestamp) -> Result<(), ConstraintViolation> {
+        if t < self.now {
+            return Err(ConstraintViolation::TimeRewind {
+                now: self.now,
+                to: t,
+            });
+        }
         let shift = self.config.service.shift_secs;
         while let Some((at, id)) = self.reentries.pop_due(t) {
             let worker = self
@@ -164,6 +194,7 @@ impl World {
             }
         }
         self.now = t;
+        Ok(())
     }
 
     /// Process a worker arrival event: the worker joins its home
@@ -231,6 +262,11 @@ impl World {
         &self.workers[&id]
     }
 
+    /// Non-panicking worker lookup (`None` for unregistered ids).
+    pub fn find_worker(&self, id: WorkerId) -> Option<&Worker> {
+        self.workers.get(&id)
+    }
+
     /// Whether the worker is currently idle (in some waiting list).
     pub fn is_idle(&self, id: WorkerId) -> bool {
         self.workers[&id].is_idle()
@@ -261,29 +297,67 @@ impl World {
     /// # Panics
     /// Panics if the worker is not idle, its circle does not cover the
     /// request, or the request arrived before the worker entered the
-    /// list (time constraint).
+    /// list (time constraint). [`World::try_assign`] is the fallible
+    /// form that returns a [`ConstraintViolation`] instead.
     pub fn assign(
         &mut self,
         worker_id: WorkerId,
         request: &RequestSpec,
         earned: Value,
     ) -> Timestamp {
+        match self.try_assign(worker_id, request, earned) {
+            Ok(until) => until,
+            Err(violation) => panic!("{violation}"),
+        }
+    }
+
+    /// Fallible assignment. All constraint checks run *before* any state
+    /// mutation, so on `Err` the world is exactly as it was — callers can
+    /// record the violation and keep replaying the stream.
+    pub fn try_assign(
+        &mut self,
+        worker_id: WorkerId,
+        request: &RequestSpec,
+        earned: Value,
+    ) -> Result<Timestamp, ConstraintViolation> {
         let metric = self.config.metric;
-        let worker = self.workers.get_mut(&worker_id).expect("unknown worker");
-        assert!(worker.is_idle(), "worker {worker_id} is not idle");
-        assert!(
-            metric.covers(worker.location, request.location, worker.spec.radius),
-            "range constraint violated: {worker_id} cannot reach {}",
-            request.id
-        );
+        let Some(worker) = self.workers.get_mut(&worker_id) else {
+            return Err(ConstraintViolation::UnknownWorker { worker: worker_id });
+        };
+        if !worker.is_idle() {
+            return Err(ConstraintViolation::WorkerNotIdle {
+                worker: worker_id,
+                request: request.id,
+            });
+        }
+        if !metric.covers(worker.location, request.location, worker.spec.radius) {
+            return Err(ConstraintViolation::OutOfRange {
+                worker: worker_id,
+                request: request.id,
+                distance_km: metric.distance(worker.location, request.location),
+                radius_km: worker.spec.radius,
+            });
+        }
+        // Check the time constraint via `get` before `remove` so a
+        // violation leaves the waiting list untouched.
         let entry = self.waiting[worker.spec.platform.index()]
+            .get(worker_id)
+            .expect("idle worker missing from waiting list");
+        if entry.entered_at > request.arrival {
+            return Err(ConstraintViolation::EnteredAfterRequest {
+                worker: worker_id,
+                request: request.id,
+                entered_at: entry.entered_at,
+                arrival: request.arrival,
+            });
+        }
+        self.waiting[worker.spec.platform.index()]
             .remove(worker_id)
             .expect("idle worker missing from waiting list");
-        assert!(
-            entry.entered_at <= request.arrival,
-            "time constraint violated: worker {worker_id} entered after request {}",
-            request.id
-        );
+        let worker = self
+            .workers
+            .get_mut(&worker_id)
+            .expect("worker vanished mid-assign");
 
         let busy = self.config.service.busy_secs_metric(
             self.config.metric,
@@ -300,7 +374,7 @@ impl World {
             self.reentries.schedule(until, worker_id);
         }
         self.record_occupancy_gauges();
-        until
+        Ok(until)
     }
 
     /// Publish occupancy gauges to the telemetry collector (idle pool
@@ -564,6 +638,95 @@ mod tests {
         w.worker_arrives(WorkerId(1));
         w.advance_to(ts(80_000.0));
         assert_eq!(w.idle_count(PlatformId(0)), 1);
+    }
+
+    #[test]
+    fn try_assign_reports_violations_without_mutating() {
+        let mut w = world(ServiceModel::one_shot());
+        w.register_worker(wspec(1, 0, 0.0, 5.0, 5.0), WorkerHistory::new());
+        w.worker_arrives(WorkerId(1));
+        w.advance_to(ts(5.0));
+
+        // Unknown worker.
+        let err = w
+            .try_assign(WorkerId(99), &rspec(1, 0, 5.0, 5.0, 5.0, 2.0), 2.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConstraintViolation::UnknownWorker {
+                worker: WorkerId(99)
+            }
+        );
+
+        // Out of range: worker stays idle and in the waiting list.
+        let err = w
+            .try_assign(WorkerId(1), &rspec(2, 0, 5.0, 9.0, 9.0, 2.0), 2.0)
+            .unwrap_err();
+        assert!(matches!(err, ConstraintViolation::OutOfRange { .. }));
+        assert!(w.is_idle(WorkerId(1)));
+        assert_eq!(w.idle_count(PlatformId(0)), 1);
+
+        // Time constraint: request that arrived before the worker entered.
+        let err = w
+            .try_assign(WorkerId(1), &rspec(3, 0, -1.0, 5.1, 5.0, 2.0), 2.0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::EnteredAfterRequest { .. }
+        ));
+        assert!(w.is_idle(WorkerId(1)));
+        assert_eq!(w.idle_count(PlatformId(0)), 1);
+        assert_eq!(w.worker(WorkerId(1)).completed, 0);
+
+        // A valid assignment still goes through afterwards.
+        let until = w
+            .try_assign(WorkerId(1), &rspec(4, 0, 5.0, 5.1, 5.0, 2.0), 2.0)
+            .unwrap();
+        assert!(until > ts(5.0));
+
+        // Busy worker.
+        let err = w
+            .try_assign(WorkerId(1), &rspec(5, 0, 5.0, 5.1, 5.0, 2.0), 2.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConstraintViolation::WorkerNotIdle {
+                worker: WorkerId(1),
+                request: RequestId(5),
+            }
+        );
+    }
+
+    #[test]
+    fn try_register_and_advance_report_violations() {
+        let mut w = world(ServiceModel::one_shot());
+        w.try_register_worker(wspec(1, 0, 0.0, 1.0, 1.0), WorkerHistory::new())
+            .unwrap();
+        let err = w
+            .try_register_worker(wspec(1, 0, 0.0, 2.0, 2.0), WorkerHistory::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConstraintViolation::DuplicateWorker {
+                worker: WorkerId(1)
+            }
+        );
+        let err = w
+            .try_register_worker(wspec(2, 7, 0.0, 2.0, 2.0), WorkerHistory::new())
+            .unwrap_err();
+        assert!(matches!(err, ConstraintViolation::UnknownPlatform { .. }));
+        assert_eq!(w.worker_count(), 1);
+
+        w.try_advance_to(ts(10.0)).unwrap();
+        let err = w.try_advance_to(ts(5.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ConstraintViolation::TimeRewind {
+                now: ts(10.0),
+                to: ts(5.0),
+            }
+        );
+        assert_eq!(w.now(), ts(10.0));
     }
 
     #[test]

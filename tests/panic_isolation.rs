@@ -1,0 +1,163 @@
+//! The PR-3 isolation contract: one misbehaving cell of a sweep — be it
+//! a matcher that emits invalid decisions or code that outright panics —
+//! yields a structured per-cell record while every other cell completes
+//! bit-identically to a serial run. The companion guarantee is that the
+//! auditor ([`com::prelude::validate_run`]) re-derives the paper's
+//! invariants from the finished log with plain `if`s, so it flags
+//! violations in release builds too (CI runs this file under
+//! `cargo test --release`).
+
+use com::prelude::*;
+use rand::rngs::StdRng;
+
+/// A deliberately faulty matcher: it latches onto the first worker it
+/// ever assigns and claims that same worker for every later request —
+/// occupancy (Definition 2.2), range, and platform-ownership violations
+/// galore.
+#[derive(Default)]
+struct BusyClaimer {
+    victim: Option<WorkerId>,
+}
+
+impl OnlineMatcher for BusyClaimer {
+    fn name(&self) -> &'static str {
+        "BusyClaimer"
+    }
+    fn begin(&mut self, _: &StreamInfo, _: &mut StdRng) {
+        self.victim = None;
+    }
+    fn decide(&mut self, world: &World, request: &RequestSpec, _: &mut StdRng) -> Decision {
+        if let Some(w) = self.victim {
+            return Decision::Inner { worker: w };
+        }
+        match world.nearest_inner_coverer(request.platform, request.location) {
+            Some(w) => {
+                self.victim = Some(w.id);
+                Decision::Inner { worker: w.id }
+            }
+            None => Decision::Reject {
+                was_cooperative_offer: false,
+            },
+        }
+    }
+}
+
+fn small_instance() -> Instance {
+    generate(&synthetic(SyntheticParams {
+        n_requests: 120,
+        n_workers: 40,
+        ..Default::default()
+    }))
+}
+
+/// A faulty matcher fanned through the sweep runner at 4 threads: its
+/// cell carries structured per-request failure records instead of
+/// poisoning the sweep, and the sound cells are bit-identical to a
+/// serial execution.
+#[test]
+fn faulty_matcher_cell_fails_structured_while_others_match_serial() {
+    let instance = small_instance();
+    // Job 2 runs the faulty matcher; the rest run sound registry specs.
+    let jobs: Vec<usize> = (0..5).collect();
+    let sound = MatcherSpec::standard();
+    let run_cell = |_i: usize, job: &usize| {
+        if *job == 2 {
+            try_run_online(&instance, &mut BusyClaimer::default(), 42)
+        } else {
+            let spec = sound[*job % sound.len()];
+            let mut matcher = spec.build();
+            try_run_online(&instance, matcher.as_mut(), 42)
+        }
+    };
+
+    let parallel: Vec<_> = SweepRunner::new(4).try_map(jobs.clone(), run_cell);
+    let serial: Vec<_> = SweepRunner::serial().try_map(jobs, run_cell);
+
+    assert_eq!(parallel.len(), 5);
+    for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+        let p = p.as_ref().expect("no cell panicked");
+        let s = s.as_ref().expect("no cell panicked");
+        // Bit-identical to serial, faulty cell included.
+        assert_eq!(
+            canonical_run_json(p),
+            canonical_run_json(s),
+            "cell {i} diverged between 4 threads and serial"
+        );
+        if i == 2 {
+            // The faulty cell: a structured record per refused decision,
+            // each refusal logged as a rejection, and the run completed.
+            assert!(!p.failures.is_empty(), "faulty cell recorded no failures");
+            assert!(p.failures.iter().all(|f| matches!(
+                f.violation,
+                ConstraintViolation::WorkerNotIdle { .. }
+                    | ConstraintViolation::OutOfRange { .. }
+                    | ConstraintViolation::ForeignWorker { .. }
+            )));
+            assert_eq!(p.assignments.len(), instance.request_count());
+        } else {
+            assert!(p.failures.is_empty(), "sound cell {i} recorded failures");
+        }
+    }
+}
+
+/// A cell that panics outright (not a constraint violation) is isolated
+/// by `try_map`: its slot reports the panic, every other cell completes
+/// bit-identically to serial.
+#[test]
+fn panicking_cell_is_isolated_at_four_threads() {
+    let instance = small_instance();
+    let jobs: Vec<usize> = (0..4).collect();
+    let run_cell = |_i: usize, job: &usize| {
+        if *job == 1 {
+            panic!("synthetic grid-cell crash");
+        }
+        let spec = MatcherSpec::standard()[*job % 3];
+        let mut matcher = spec.build();
+        try_run_online(&instance, matcher.as_mut(), 7)
+    };
+
+    let parallel = SweepRunner::new(4).try_map(jobs.clone(), run_cell);
+    let serial = SweepRunner::serial().try_map(jobs, run_cell);
+
+    for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+        match (p, s) {
+            (Err(pp), Err(sp)) => {
+                assert_eq!(i, 1);
+                assert_eq!(pp.index, 1);
+                assert_eq!(sp.index, 1);
+                assert!(pp.message.contains("synthetic grid-cell crash"), "{pp}");
+            }
+            (Ok(pr), Ok(sr)) => {
+                assert_ne!(i, 1);
+                assert_eq!(canonical_run_json(pr), canonical_run_json(sr));
+            }
+            _ => panic!("cell {i}: parallel and serial disagree about the panic"),
+        }
+    }
+}
+
+/// The auditor catches a corrupted log with plain control flow — no
+/// `debug_assert!` involved — so this test is meaningful in release
+/// builds (CI's release job runs it).
+#[test]
+fn auditor_flags_tampered_logs_in_release_builds() {
+    let instance = small_instance();
+    let mut matcher = MatcherRegistry::builtin().build("demcom").unwrap();
+    let mut run = try_run_online(&instance, matcher.as_mut(), 42);
+    assert!(validate_run(&instance, &run).is_empty());
+
+    // Tamper: pay an inner worker an outer payment — revenue arithmetic
+    // no longer matches Definition 2.5.
+    let idx = run
+        .assignments
+        .iter()
+        .position(|a| a.kind == MatchKind::Inner)
+        .expect("demcom served at least one inner request");
+    run.assignments[idx].outer_payment = run.assignments[idx].request.value;
+
+    let findings = validate_run(&instance, &run);
+    assert!(
+        !findings.is_empty(),
+        "auditor missed an inner assignment carrying an outer payment"
+    );
+}
