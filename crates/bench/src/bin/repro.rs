@@ -50,6 +50,14 @@ struct Args {
     strict: bool,
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table5|table6|table7|fig5r|fig5w|fig5rad|cr|ablation|all> \
+         [--quick] [--out DIR] [--threads N] [--strict]"
+    );
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
     let mut experiments = Vec::new();
     let mut quick = false;
@@ -62,14 +70,23 @@ fn parse_args() -> Args {
             "--quick" => quick = true,
             "--strict" => strict = true,
             "--out" => {
-                out = PathBuf::from(argv.next().expect("--out needs a directory"));
+                out = PathBuf::from(argv.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    usage()
+                }));
             }
             "--threads" => {
                 threads = argv
                     .next()
-                    .expect("--threads needs a worker count")
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a worker count");
+                        usage()
+                    })
                     .parse()
-                    .expect("--threads must be an integer (0 = all cores)");
+                    .unwrap_or_else(|_| {
+                        eprintln!("--threads must be an integer (0 = all cores)");
+                        usage()
+                    });
             }
             "--help" | "-h" => {
                 println!("usage: repro <table5|table6|table7|fig5r|fig5w|fig5rad|cr|ablation|all> [--quick] [--out DIR] [--threads N] [--strict]");

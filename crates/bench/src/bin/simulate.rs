@@ -119,7 +119,12 @@ fn parse_args() -> Args {
                     .collect()
             }
             "--algo" => args.algos = next("--algo").split(',').map(|s| s.to_string()).collect(),
-            "--seed" => args.seed = next("--seed").parse().expect("--seed must be an integer"),
+            "--seed" => {
+                args.seed = next("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be an integer");
+                    usage()
+                })
+            }
             "--metric" => {
                 args.metric = match next("--metric").as_str() {
                     "euclidean" => DistanceMetric::Euclidean,
@@ -134,9 +139,10 @@ fn parse_args() -> Args {
             "--stats" => args.stats = true,
             "--trace" => args.trace = Some(PathBuf::from(next("--trace"))),
             "--threads" => {
-                args.threads = next("--threads")
-                    .parse()
-                    .expect("--threads must be an integer (0 = all cores)")
+                args.threads = next("--threads").parse().unwrap_or_else(|_| {
+                    eprintln!("--threads must be an integer (0 = all cores)");
+                    usage()
+                })
             }
             "--strict" => args.strict = true,
             "--emit-config" => args.emit_config = true,

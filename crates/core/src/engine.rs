@@ -1,10 +1,12 @@
-//! The online replay engine.
+//! The online replay engine — batch wrappers over [`MatchSession`].
 //!
 //! Replays an [`Instance`]'s arrival stream in order against any
 //! [`OnlineMatcher`]. The engine — not the algorithms — is responsible for
 //! enforcing COM's constraints, measuring per-request wall-clock decision
 //! time (the paper's "response time"), and sampling the world's memory
-//! footprint.
+//! footprint. Since the com-serve subsystem landed, all of that lives in
+//! the incremental [`MatchSession`] (see [`crate::session`]); this module
+//! keeps the batch entry points and the [`RunResult`] type.
 //!
 //! Enforcement comes in two flavours sharing one code path:
 //! [`run_online`] panics on the first [`ConstraintViolation`] (programmer
@@ -13,23 +15,12 @@
 //! logged as rejected, the world stays untouched, and the replay
 //! continues, so one misbehaving matcher cannot abort a whole sweep.
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use com_sim::{
-    ArrivalEvent, Assignment, ConstraintViolation, Instance, MatchKind, RequestSpec, Value, World,
-};
+use com_sim::{Assignment, ConstraintViolation, Instance, RequestSpec, Value, World};
 
 use crate::matcher::{Decision, OnlineMatcher, StreamInfo};
-
-/// How often (in processed stream events — worker arrivals count too) the
-/// engine samples `World::approx_bytes` for the peak-memory metric once
-/// past the dense-sampling prefix. The first `MEMORY_SAMPLE_EVERY` events
-/// are sampled individually (bounded cost) so short runs still observe
-/// mid-run peaks, and the final world state is always sampled.
-const MEMORY_SAMPLE_EVERY: usize = 512;
+use crate::session::MatchSession;
 
 /// A matcher decision the engine refused to apply: which request it was
 /// deciding and which paper constraint the decision breached. Produced
@@ -206,190 +197,37 @@ pub fn try_run_online(
     run_online_inner(instance, matcher, seed, true)
 }
 
+/// Adapts the wrappers' historical `&mut dyn OnlineMatcher` signature to
+/// the session's owned `Box<dyn OnlineMatcher + 'm>` by delegation.
+struct BorrowedMatcher<'a>(&'a mut dyn OnlineMatcher);
+
+impl OnlineMatcher for BorrowedMatcher<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn begin(&mut self, info: &StreamInfo, rng: &mut StdRng) {
+        self.0.begin(info, rng);
+    }
+    fn decide(&mut self, world: &World, request: &RequestSpec, rng: &mut StdRng) -> Decision {
+        self.0.decide(world, request, rng)
+    }
+}
+
 fn run_online_inner(
     instance: &Instance,
     matcher: &mut dyn OnlineMatcher,
     seed: u64,
     fallible: bool,
 ) -> RunResult {
-    let mut world = instance.build_world();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let info = StreamInfo {
-        max_value: instance.max_value().unwrap_or(1.0),
-    };
-    com_obs::begin_run(matcher.name());
-    matcher.begin(&info, &mut rng);
-
-    let mut assignments: Vec<Assignment> = Vec::with_capacity(instance.request_count());
-    let mut failures: Vec<DecisionFailure> = Vec::new();
-    // The platform's working set: the world state plus the matching
-    // record M it accumulates (the paper's memory metric covers both —
-    // its Figs. 5(c)/(g) grow with |R| and |W| respectively).
-    let log_bytes = |a: &Vec<Assignment>| a.capacity() * std::mem::size_of::<Assignment>();
-    let mut peak = world.approx_bytes() + log_bytes(&assignments);
-    let mut log_capacity = assignments.capacity();
-    let mut total_nanos = 0u64;
-    let mut events = 0usize;
-
+    let mut session =
+        MatchSession::for_instance(instance, Box::new(BorrowedMatcher(matcher)), seed)
+            .with_strict_decisions(!fallible);
     for event in instance.stream.iter() {
-        world.advance_to(event.time());
-        match event {
-            ArrivalEvent::Worker(spec) => world.worker_arrives(spec.id),
-            ArrivalEvent::Request(request) => {
-                let span = com_obs::span(com_obs::PHASE_DECISION);
-                let started = Instant::now();
-                let decision = matcher.decide(&world, request, &mut rng);
-                let nanos = started.elapsed().as_nanos() as u64;
-                drop(span);
-                total_nanos += nanos;
-                match try_apply_decision(&mut world, request, decision, nanos) {
-                    Ok(assignment) => assignments.push(assignment),
-                    Err(violation) if fallible => {
-                        com_obs::counter_add("engine.constraint_violations", 1);
-                        assignments.push(Assignment {
-                            request: *request,
-                            kind: MatchKind::Rejected,
-                            worker: None,
-                            worker_platform: None,
-                            outer_payment: 0.0,
-                            was_cooperative_offer: false,
-                            travel_km: 0.0,
-                            decided_at: request.arrival,
-                            decision_nanos: nanos,
-                        });
-                        failures.push(DecisionFailure {
-                            request: *request,
-                            violation,
-                        });
-                    }
-                    Err(violation) => panic!("{violation}"),
-                }
-            }
-        }
-        // Sample on every stream event (a burst of worker arrivals grows
-        // the world without any request being processed). Dense for the
-        // first `MEMORY_SAMPLE_EVERY` events so short runs still catch
-        // mid-run peaks, sparse afterwards — plus whenever the
-        // assignment log reallocates (a capacity jump is exactly when
-        // the footprint steps).
-        events += 1;
-        let realloc = assignments.capacity() != log_capacity;
-        if realloc || events < MEMORY_SAMPLE_EVERY || events.is_multiple_of(MEMORY_SAMPLE_EVERY) {
-            log_capacity = assignments.capacity();
-            let bytes = world.approx_bytes() + log_bytes(&assignments);
-            com_obs::gauge_set("world.approx_bytes", bytes as f64);
-            peak = peak.max(bytes);
+        if let Err(violation) = session.ingest(event) {
+            panic!("{violation}");
         }
     }
-
-    let final_bytes = world.approx_bytes() + log_bytes(&assignments);
-    com_obs::gauge_set("world.approx_bytes", final_bytes as f64);
-    RunResult {
-        algorithm: matcher.name().to_string(),
-        assignments,
-        peak_memory_bytes: peak.max(final_bytes),
-        final_memory_bytes: final_bytes,
-        total_decision_nanos: total_nanos,
-        telemetry: com_obs::end_run(),
-        failures,
-    }
-}
-
-/// Validate a matcher decision against the paper's constraints and, if
-/// sound, apply it to the world and produce the assignment record. On
-/// `Err` the world is unchanged.
-fn try_apply_decision(
-    world: &mut World,
-    request: &RequestSpec,
-    decision: Decision,
-    nanos: u64,
-) -> Result<Assignment, ConstraintViolation> {
-    match decision {
-        Decision::Inner { worker } => {
-            let w = world
-                .find_worker(worker)
-                .ok_or(ConstraintViolation::UnknownWorker { worker })?;
-            let spec_platform = w.spec.platform;
-            let travel_km = world.config().metric.distance(w.location, request.location);
-            if spec_platform != request.platform {
-                return Err(ConstraintViolation::ForeignWorker {
-                    worker,
-                    worker_platform: spec_platform,
-                    request: request.id,
-                    request_platform: request.platform,
-                });
-            }
-            world.try_assign(worker, request, request.value)?;
-            Ok(Assignment {
-                request: *request,
-                kind: MatchKind::Inner,
-                worker: Some(worker),
-                worker_platform: Some(spec_platform),
-                outer_payment: 0.0,
-                was_cooperative_offer: false,
-                travel_km,
-                decided_at: request.arrival,
-                decision_nanos: nanos,
-            })
-        }
-        Decision::Outer {
-            worker,
-            platform,
-            payment,
-        } => {
-            let w = world
-                .find_worker(worker)
-                .ok_or(ConstraintViolation::UnknownWorker { worker })?;
-            let spec_platform = w.spec.platform;
-            let travel_km = world.config().metric.distance(w.location, request.location);
-            if spec_platform != platform {
-                return Err(ConstraintViolation::PlatformMismatch {
-                    worker,
-                    claimed: platform,
-                    actual: spec_platform,
-                });
-            }
-            if spec_platform == request.platform {
-                return Err(ConstraintViolation::InnerWorkerAsOuter {
-                    worker,
-                    request: request.id,
-                    platform: spec_platform,
-                });
-            }
-            if !(payment > 0.0 && payment <= request.value + 1e-9) {
-                return Err(ConstraintViolation::PaymentOutOfBounds {
-                    request: request.id,
-                    payment,
-                    value: request.value,
-                });
-            }
-            world.try_assign(worker, request, payment)?;
-            Ok(Assignment {
-                request: *request,
-                kind: MatchKind::Outer,
-                worker: Some(worker),
-                worker_platform: Some(spec_platform),
-                outer_payment: payment,
-                was_cooperative_offer: true,
-                travel_km,
-                decided_at: request.arrival,
-                decision_nanos: nanos,
-            })
-        }
-        Decision::Reject {
-            was_cooperative_offer,
-        } => Ok(Assignment {
-            request: *request,
-            kind: MatchKind::Rejected,
-            worker: None,
-            worker_platform: None,
-            outer_payment: 0.0,
-            was_cooperative_offer,
-            travel_km: 0.0,
-            decided_at: request.arrival,
-            decision_nanos: nanos,
-        }),
-    }
+    session.finish()
 }
 
 #[cfg(test)]
@@ -399,8 +237,8 @@ mod tests {
     use com_geo::Point;
     use com_pricing::WorkerHistory;
     use com_sim::{
-        EventStream, PlatformId, RequestId, ServiceModel, Timestamp, WorkerId, WorkerSpec,
-        WorldConfig,
+        EventStream, MatchKind, PlatformId, RequestId, ServiceModel, Timestamp, WorkerId,
+        WorkerSpec, WorldConfig,
     };
     use com_stream::RequestSpec as Rq;
     use std::collections::HashMap;

@@ -25,6 +25,10 @@
 //! * [`engine`] — replays an [`Instance`]'s arrival stream against any
 //!   [`OnlineMatcher`], enforcing every constraint of Definition 2.6 and
 //!   timing each decision.
+//! * [`session`] — the incremental core under the engine: a resumable
+//!   [`MatchSession`] ingests arrival events one at a time (the
+//!   `com-serve` daemon's entry point; the batch engine is a thin
+//!   wrapper over it).
 //! * [`ratio`] — empirical competitive-ratio measurement under the
 //!   adversarial and random-order models (Definitions 2.7/2.8).
 //! * [`registry`] — the algorithm-construction API: [`MatcherSpec`]
@@ -49,6 +53,7 @@ pub mod offline;
 pub mod ramcom;
 pub mod ratio;
 pub mod registry;
+pub mod session;
 pub mod timeline;
 pub mod tota;
 pub mod travel;
@@ -65,6 +70,7 @@ pub use offline::{offline_solve, OfflineMode, OfflineResult};
 pub use ramcom::RamCom;
 pub use ratio::{competitive_ratio_random_order, CrReport};
 pub use registry::{MatcherEntry, MatcherFactory, MatcherRegistry, MatcherSpec, SpecError};
+pub use session::{MatchSession, SessionConfig, SessionOutput};
 pub use timeline::{hourly_timeline, HourlyBucket};
 pub use tota::{GreedyRt, TotaGreedy};
 pub use travel::RouteAwareCom;

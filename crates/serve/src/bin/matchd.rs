@@ -1,0 +1,91 @@
+//! `matchd` — the real-time cross-online-matching daemon.
+//!
+//! ```text
+//! cargo run -p com-serve --release --bin matchd -- \
+//!     [--addr HOST:PORT] [--addr-file FILE] [--queue N] [--once] [--stats]
+//! ```
+//!
+//! Listens for newline-delimited-JSON sessions (see
+//! `com_serve::protocol`): each connection opens one `MatchSession` with
+//! `hello` (matcher spec, seed, world config, platform roster), streams
+//! `worker`/`request`/`tick` events in time order, and closes with
+//! `shutdown` to receive the audited final report (`bye`).
+//!
+//! * `--addr` — bind address (default `127.0.0.1:7878`); port `0` picks
+//!   an ephemeral port.
+//! * `--addr-file` — write the bound address to FILE once listening
+//!   (how scripts discover an ephemeral port).
+//! * `--queue` — ingress queue capacity per connection (default 1024);
+//!   when full, lines are dropped and answered with `busy`.
+//! * `--once` — exit after the first connection finishes (CI smoke runs).
+//! * `--stats` — print a per-session ingest-latency summary on teardown.
+//!
+//! Without `--once` the daemon runs until killed; every in-flight
+//! session is still drained and audited on client disconnect.
+
+use com_serve::{serve, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matchd [--addr HOST:PORT] [--addr-file FILE] [--queue N] \
+         [--once] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut addr_file: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut next = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = next("--addr"),
+            "--addr-file" => addr_file = Some(next("--addr-file")),
+            "--queue" => {
+                config.queue_capacity = next("--queue").parse().unwrap_or_else(|_| {
+                    eprintln!("--queue must be a positive integer");
+                    usage()
+                })
+            }
+            "--once" => config.once = true,
+            "--stats" => config.print_stats = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let once = config.once;
+    let handle = serve(config).unwrap_or_else(|e| {
+        eprintln!("matchd: cannot bind: {e}");
+        std::process::exit(1);
+    });
+    println!("matchd listening on {}", handle.addr());
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+            eprintln!("matchd: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if once {
+        handle.join();
+    } else {
+        // Serve until killed. The accept thread owns all the work; this
+        // thread just keeps the handle alive.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! `matchload` — scenario replay client and load generator for `matchd`.
+//!
+//! ```text
+//! cargo run -p com-serve --release --bin matchload -- \
+//!     --addr HOST:PORT \
+//!     [--profile chengdu-oct|chengdu-nov|xian-nov|synthetic | --config FILE] \
+//!     [--quick] [--matcher SPEC] [--seed N] [--rate HZ] \
+//!     [--json FILE] [--strict]
+//! ```
+//!
+//! Streams a `com-datagen` scenario through a live matchd session in
+//! strict lockstep (one outstanding message) and reports throughput and
+//! request round-trip latency (p50/p95/p99).
+//!
+//! * `--quick` — a small synthetic scenario (400 requests, 120 workers)
+//!   regardless of profile; what CI's serve-smoke job runs.
+//! * `--rate` — target event rate in events/s (default 0 = full speed).
+//! * `--json` — write the report (the `BENCH_serve.json` format).
+//! * `--strict` — verify the served run end to end: replay the same
+//!   instance through the local batch engine (`try_run_online`) and
+//!   require the server's canonical run JSON to match byte for byte,
+//!   zero audit findings, and zero dropped lines; exit 1 otherwise.
+
+use std::fs;
+
+use com_bench::runner::canonical_run_json;
+use com_core::{try_run_online, MatcherRegistry};
+use com_datagen::{
+    chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, ScenarioConfig, SyntheticParams,
+};
+use com_serve::{replay, ReplayOptions};
+
+struct Args {
+    addr: String,
+    profile: String,
+    config: Option<String>,
+    quick: bool,
+    matcher: String,
+    seed: u64,
+    rate_hz: f64,
+    json_out: Option<String>,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matchload --addr HOST:PORT [--profile NAME | --config FILE] \
+         [--quick] [--matcher SPEC] [--seed N] [--rate HZ] [--json FILE] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        profile: "synthetic".into(),
+        config: None,
+        quick: false,
+        matcher: "demcom".into(),
+        seed: 42,
+        rate_hz: 0.0,
+        json_out: None,
+        strict: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut next = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = next("--addr"),
+            "--profile" => args.profile = next("--profile"),
+            "--config" => args.config = Some(next("--config")),
+            "--quick" => args.quick = true,
+            "--matcher" => args.matcher = next("--matcher"),
+            "--seed" => {
+                args.seed = next("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be an integer");
+                    usage()
+                })
+            }
+            "--rate" => {
+                args.rate_hz = next("--rate").parse().unwrap_or_else(|_| {
+                    eprintln!("--rate must be a number (events/s, 0 = full speed)");
+                    usage()
+                })
+            }
+            "--json" => args.json_out = Some(next("--json")),
+            "--strict" => args.strict = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage()
+    }
+    args
+}
+
+fn load_scenario(args: &Args) -> ScenarioConfig {
+    if args.quick {
+        return synthetic(SyntheticParams {
+            n_requests: 400,
+            n_workers: 120,
+            ..SyntheticParams::default()
+        });
+    }
+    if let Some(path) = &args.config {
+        let text = fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        return serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2)
+        });
+    }
+    match args.profile.as_str() {
+        "chengdu-oct" => chengdu_oct(),
+        "chengdu-nov" => chengdu_nov(),
+        "xian-nov" => xian_nov(),
+        "synthetic" => synthetic(SyntheticParams::default()),
+        other => {
+            eprintln!("unknown profile {other}");
+            usage()
+        }
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let scenario = load_scenario(&args);
+    let instance = generate(&scenario);
+    println!(
+        "matchload: {} events ({} requests, {} workers) -> {} [{}, seed {}]",
+        instance.stream.len(),
+        instance.request_count(),
+        instance.worker_count(),
+        args.addr,
+        args.matcher,
+        args.seed,
+    );
+
+    let options = ReplayOptions {
+        matcher: args.matcher.clone(),
+        seed: args.seed,
+        rate_hz: args.rate_hz,
+    };
+    let report = replay(&args.addr, &instance, &options).unwrap_or_else(|e| {
+        eprintln!("matchload: replay failed: {e}");
+        std::process::exit(1)
+    });
+
+    let h = &report.request_rtt_ns;
+    println!(
+        "served {} requests ({} assigned, {} rejected, {} timed out) in {:.2}s \
+         — {:.0} events/s, {} busy",
+        instance.request_count(),
+        report.assigned,
+        report.rejected,
+        report.refused,
+        report.wall_secs,
+        report.events_per_sec(),
+        report.busy,
+    );
+    println!(
+        "request rtt: p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  mean {:.1}us",
+        us(h.p50()),
+        us(h.quantile(0.95)),
+        us(h.p99()),
+        h.mean() / 1e3,
+    );
+    println!(
+        "server: revenue {:.1}, completed {}, cooperative {}, refused {}, \
+         audit findings {}",
+        report.bye.revenue,
+        report.bye.completed,
+        report.bye.cooperative,
+        report.bye.refused,
+        report.bye.audit_findings.len(),
+    );
+    for finding in &report.bye.audit_findings {
+        eprintln!("  audit: {finding}");
+    }
+
+    if let Some(path) = &args.json_out {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let json = serde_json::json!({
+            "scenario": if args.quick { "quick-synthetic".to_string() } else { args.profile.clone() },
+            "matcher": args.matcher,
+            "seed": args.seed,
+            "requests": instance.request_count(),
+            "workers": instance.worker_count(),
+            "events": report.events,
+            "rate_hz": args.rate_hz,
+            "wall_secs": report.wall_secs,
+            "events_per_sec": report.events_per_sec(),
+            "latency_us": serde_json::json!({
+                "p50": us(h.p50()),
+                "p95": us(h.quantile(0.95)),
+                "p99": us(h.p99()),
+                "mean": h.mean() / 1e3,
+            }),
+            "busy": report.busy,
+            "audit_findings": report.bye.audit_findings.len(),
+            "host_cores": cores,
+            "note": "single connection, synchronous request-response over loopback; \
+                     latency includes both protocol ends plus the decision itself; \
+                     client and server share the listed cores, so throughput is a \
+                     protocol-overhead floor, not a capacity ceiling",
+        });
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serialise report"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        println!("report written to {path}");
+    }
+
+    if args.strict {
+        let mut failures = Vec::new();
+        if !report.bye.audit_findings.is_empty() {
+            failures.push(format!(
+                "{} audit finding(s)",
+                report.bye.audit_findings.len()
+            ));
+        }
+        if report.busy > 0 {
+            failures.push(format!("{} busy (dropped line) event(s)", report.busy));
+        }
+        // The ground truth: the same instance, matcher, and seed through
+        // the local batch engine must match the served run byte for byte
+        // in the canonical projection.
+        let registry = MatcherRegistry::builtin();
+        let factory = registry.resolve(&args.matcher).unwrap_or_else(|e| {
+            eprintln!("matchload: {e}");
+            std::process::exit(2)
+        });
+        let mut matcher = factory();
+        let batch = try_run_online(&instance, matcher.as_mut(), args.seed);
+        let local = serde_json::to_string(&canonical_run_json(&batch)).expect("serialise");
+        let served = serde_json::to_string(&report.bye.canonical).expect("serialise");
+        // Round-trip the local JSON through the parser so both sides use
+        // the identical value representation before comparing.
+        let local: serde_json::Value = serde_json::from_str(&local).expect("round-trip");
+        let local = serde_json::to_string(&local).expect("serialise");
+        if local != served {
+            failures.push("served canonical run differs from local batch run".into());
+            eprintln!("local:  {local}");
+            eprintln!("served: {served}");
+        }
+        if !failures.is_empty() {
+            eprintln!("matchload: --strict failed: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        println!("strict: served run matches the local batch run exactly; audit clean");
+    }
+}

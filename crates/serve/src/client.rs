@@ -1,0 +1,242 @@
+//! Client side: a line-oriented protocol client plus the scenario replay
+//! loop `matchload` and the loopback tests drive.
+//!
+//! [`replay`] streams an [`Instance`]'s arrival events through a live
+//! `matchd` session in strict request-response lockstep (one outstanding
+//! message), measuring the round-trip latency of every `request` event.
+//! Lockstep means the server's ingress queue can never overflow from this
+//! client — any `busy` received (counted in the report) is answered by
+//! backing off and resending, so a replay is lossless and its final
+//! `bye` is comparable to a local batch run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use com_obs::Histogram;
+use com_sim::{ArrivalEvent, Instance};
+
+use crate::protocol::{decode_server, encode, ByeMsg, ClientMsg, Hello, ServerMsg, WorkerMsg};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+fn bad_data(detail: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail)
+}
+
+impl Client {
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, stream })
+    }
+
+    /// Send one message line.
+    pub fn send(&mut self, msg: &ClientMsg) -> std::io::Result<()> {
+        let mut line = encode(msg);
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())
+    }
+
+    /// Send one raw line verbatim (protocol-robustness tests).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Read the next server message. EOF is `UnexpectedEof`.
+    pub fn recv(&mut self) -> std::io::Result<ServerMsg> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            return decode_server(text).map_err(|e| bad_data(e.to_string()));
+        }
+    }
+
+    /// Send a message and wait for its (in-order) response. Out-of-band
+    /// `busy` means the line was dropped server-side: back off, resend,
+    /// and report how often that happened via the returned counter.
+    pub fn rpc(&mut self, msg: &ClientMsg) -> std::io::Result<(ServerMsg, u64)> {
+        let mut busy = 0u64;
+        loop {
+            self.send(msg)?;
+            match self.recv()? {
+                ServerMsg::busy => {
+                    busy += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                response => return Ok((response, busy)),
+            }
+        }
+    }
+}
+
+/// Replay tuning.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Matcher spec string (see `com_core::MatcherRegistry`).
+    pub matcher: String,
+    pub seed: u64,
+    /// Target event send rate in events/second; `0.0` = as fast as the
+    /// lockstep allows.
+    pub rate_hz: f64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            matcher: "demcom".into(),
+            seed: 42,
+            rate_hz: 0.0,
+        }
+    }
+}
+
+/// What a replay measured.
+#[derive(Debug)]
+pub struct ReplayReport {
+    pub events: usize,
+    pub assigned: usize,
+    pub rejected: usize,
+    /// Engine-refused decisions (`timeout` responses).
+    pub refused: usize,
+    /// Backpressure events survived (dropped lines that were resent).
+    pub busy: u64,
+    pub wall_secs: f64,
+    /// Round-trip latency of `request` events, nanoseconds.
+    pub request_rtt_ns: Histogram,
+    /// The server's final session report.
+    pub bye: ByeMsg,
+}
+
+impl ReplayReport {
+    /// Events per wall-clock second over the whole replay.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.wall_secs
+    }
+}
+
+/// Stream `instance` through a matchd session at `addr` and collect the
+/// report. The served outcome is exactly a batch `try_run_online` over
+/// the same instance and seed; compare `report.bye.canonical` against
+/// `com_bench::runner::canonical_run_json` to verify.
+pub fn replay(
+    addr: &str,
+    instance: &Instance,
+    options: &ReplayOptions,
+) -> std::io::Result<ReplayReport> {
+    let mut client = Client::connect(addr)?;
+    let hello = ClientMsg::hello(Hello {
+        matcher: options.matcher.clone(),
+        seed: options.seed,
+        world: instance.config.clone(),
+        platforms: instance.platform_names.clone(),
+        max_value: instance.max_value(),
+    });
+    let (response, mut busy) = client.rpc(&hello)?;
+    match response {
+        ServerMsg::welcome { .. } => {}
+        ServerMsg::error(e) => {
+            return Err(bad_data(format!("hello refused: {}: {}", e.code, e.detail)))
+        }
+        other => return Err(bad_data(format!("unexpected hello response: {other:?}"))),
+    }
+
+    let started = Instant::now();
+    let mut request_rtt_ns = Histogram::new();
+    let (mut assigned, mut rejected, mut refused) = (0usize, 0usize, 0usize);
+    let period = if options.rate_hz > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / options.rate_hz))
+    } else {
+        None
+    };
+
+    for (i, event) in instance.stream.iter().enumerate() {
+        if let Some(period) = period {
+            // Absolute pacing: event i goes out at started + i·period, so
+            // per-iteration jitter does not accumulate.
+            let due = started + period * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        match event {
+            ArrivalEvent::Worker(spec) => {
+                let msg = ClientMsg::worker(WorkerMsg {
+                    spec: *spec,
+                    history: instance.histories.get(&spec.id).cloned(),
+                });
+                let (response, b) = client.rpc(&msg)?;
+                busy += b;
+                match response {
+                    ServerMsg::ok => {}
+                    ServerMsg::error(e) => {
+                        return Err(bad_data(format!(
+                            "worker refused: {}: {}",
+                            e.code, e.detail
+                        )))
+                    }
+                    other => {
+                        return Err(bad_data(format!("unexpected worker response: {other:?}")))
+                    }
+                }
+            }
+            ArrivalEvent::Request(spec) => {
+                let sent = Instant::now();
+                let (response, b) = client.rpc(&ClientMsg::request(*spec))?;
+                request_rtt_ns.record(sent.elapsed().as_nanos() as u64);
+                busy += b;
+                match response {
+                    ServerMsg::assign(_) => assigned += 1,
+                    ServerMsg::reject(_) => rejected += 1,
+                    ServerMsg::timeout { .. } => refused += 1,
+                    ServerMsg::error(e) => {
+                        return Err(bad_data(format!(
+                            "request refused: {}: {}",
+                            e.code, e.detail
+                        )))
+                    }
+                    other => {
+                        return Err(bad_data(format!("unexpected request response: {other:?}")))
+                    }
+                }
+            }
+        }
+    }
+
+    let (response, b) = client.rpc(&ClientMsg::shutdown)?;
+    busy += b;
+    let wall_secs = started.elapsed().as_secs_f64();
+    let ServerMsg::bye(bye) = response else {
+        return Err(bad_data(format!(
+            "unexpected shutdown response: {response:?}"
+        )));
+    };
+    Ok(ReplayReport {
+        events: instance.stream.len(),
+        assigned,
+        rejected,
+        refused,
+        busy,
+        wall_secs,
+        request_rtt_ns,
+        bye,
+    })
+}

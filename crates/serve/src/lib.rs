@@ -1,0 +1,33 @@
+//! # com-serve
+//!
+//! The real-time serving layer over the COM replay engine: the paper's
+//! setting is *online* — requests and workers arrive as live streams and
+//! must be answered immediately (§II-A) — and this crate is the
+//! long-running dispatch service the batch tooling lacked.
+//!
+//! * [`protocol`] — the newline-delimited JSON wire protocol (`hello`,
+//!   `worker`, `request`, `tick`, `stats`, `shutdown` in;
+//!   `assign`/`reject`/`timeout`, `busy`, `stats`, `bye` out).
+//! * [`session`] — one client's [`com_core::MatchSession`] plus the event
+//!   log needed to audit the finished run with `validate_run`.
+//! * [`server`] — the threaded TCP server behind the `matchd` binary:
+//!   per-connection reader + session threads, a bounded ingress queue
+//!   with `busy` backpressure, graceful drain-and-audit teardown.
+//! * [`client`] — the protocol client and the lockstep scenario [`replay`]
+//!   loop behind the `matchload` binary.
+//!
+//! Everything is `std`-only: threads, `TcpListener`/`TcpStream`, and
+//! `sync_channel` — no new dependencies.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{replay, Client, ReplayOptions, ReplayReport};
+pub use protocol::{
+    decode_client, decode_server, encode, ByeMsg, ClientMsg, DecodeError, ErrorMsg, Hello,
+    ServerMsg, StatsMsg, WorkerMsg,
+};
+pub use server::{serve, ServerConfig, ServerCounters, ServerHandle};
+pub use session::{FinishedSession, ServeSession};

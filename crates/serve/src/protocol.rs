@@ -1,0 +1,252 @@
+//! The matchd wire protocol: newline-delimited JSON.
+//!
+//! Every message is one JSON value on one line (`\n`-terminated). The
+//! client opens a session with `hello` and then streams arrival events in
+//! time order; the server answers every client message with exactly one
+//! response, in order:
+//!
+//! | client                                | server                                  |
+//! |---------------------------------------|-----------------------------------------|
+//! | `{"hello": {...}}`                    | `{"welcome": {...}}` or `{"error": ..}` |
+//! | `{"worker": {...}}`                   | `"ok"` or `{"error": ...}`              |
+//! | `{"request": {...}}`                  | `{"assign"|"reject"|"timeout": ...}`    |
+//! | `{"tick": {"to": secs}}`              | `"ok"` or `{"error": ...}`              |
+//! | `"stats"`                             | `{"stats": {...}}`                      |
+//! | `"shutdown"`                          | `{"bye": {...}}`, then close            |
+//!
+//! In addition the server may emit `"busy"` *out of band* whenever its
+//! bounded ingress queue is full: the offending line was **dropped**
+//! (never queued, never answered) and the per-server drop counter
+//! incremented. A client that receives `busy` should back off and resend.
+//! Closing the connection without `shutdown` still finishes and audits
+//! the session server-side; the `bye` is simply unreceivable.
+//!
+//! `timeout` is the engine-refused outcome: the matcher's decision
+//! breached a COM constraint (worker busy/out of range/bad payment), so
+//! the platform lets the request time out unserved. The request is logged
+//! as rejected — exactly `try_run_online`'s lenient semantics.
+
+use serde::{Deserialize, Serialize};
+
+use com_pricing::WorkerHistory;
+use com_sim::{Assignment, RequestSpec, WorkerSpec, WorldConfig};
+
+/// Session opener: which matcher to run, the RNG seed, and the world the
+/// session plays out in. `max_value` is the stream's expected largest
+/// request value (RamCOM's threshold grid assumes `max v_r`); omit it and
+/// the session assumes 1.0, exactly like a batch run over an instance
+/// with no requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hello {
+    /// Matcher spec string, e.g. `"demcom"` or `"route-aware:2.5"`
+    /// (resolved through `com_core::MatcherRegistry::builtin`).
+    pub matcher: String,
+    pub seed: u64,
+    pub world: WorldConfig,
+    /// Platform roster; platform ids in events index into this list.
+    pub platforms: Vec<String>,
+    #[serde(default)]
+    pub max_value: Option<f64>,
+}
+
+/// A worker arrival, optionally carrying the worker's acceptance history
+/// (drives outer-payment pricing, Definition 3.1). No history means an
+/// empty one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerMsg {
+    pub spec: WorkerSpec,
+    #[serde(default)]
+    pub history: Option<WorkerHistory>,
+}
+
+/// Client → server messages. Lowercase variant names are the wire tags
+/// (externally tagged: `{"worker": {...}}`; unit variants are bare
+/// strings: `"stats"`).
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClientMsg {
+    hello(Hello),
+    worker(WorkerMsg),
+    request(RequestSpec),
+    tick { to: f64 },
+    stats,
+    shutdown,
+}
+
+/// A structured protocol error. `code` is machine-matchable:
+/// `bad-json`, `unknown-message`, `no-session`, `duplicate-hello`,
+/// `unknown-matcher`, `constraint`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorMsg {
+    pub code: String,
+    pub detail: String,
+}
+
+/// Live session counters (`stats` response).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsMsg {
+    /// Stream events ingested by this session.
+    pub events: u64,
+    pub assigned: u64,
+    pub rejected: u64,
+    /// Engine-refused decisions (`timeout` responses).
+    pub refused: u64,
+    /// Lines dropped by the bounded ingress queue, server-wide.
+    pub dropped: u64,
+    /// Current simulation time, seconds.
+    pub now_secs: f64,
+}
+
+/// Final session report (`bye` response): the run summary, every audit
+/// finding `com_core::validate_run` produced on the reconstructed
+/// instance, and the deterministic `canonical_run_json` projection so a
+/// client can verify the served run against a local batch replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ByeMsg {
+    pub algorithm: String,
+    pub revenue: f64,
+    pub completed: u64,
+    pub cooperative: u64,
+    pub events: u64,
+    pub refused: u64,
+    pub audit_findings: Vec<String>,
+    pub canonical: serde_json::Value,
+}
+
+/// Server → client messages.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServerMsg {
+    welcome {
+        algorithm: String,
+    },
+    /// Generic acknowledgement for `worker` and `tick`.
+    ok,
+    /// The request was served (inner or outer assignment).
+    assign(Assignment),
+    /// The matcher itself rejected the request.
+    reject(Assignment),
+    /// The engine refused the matcher's decision; the request timed out
+    /// unserved (logged as rejected).
+    timeout {
+        assignment: Assignment,
+        violation: String,
+    },
+    /// Out-of-band backpressure: the last line was dropped, resend later.
+    busy,
+    error(ErrorMsg),
+    stats(StatsMsg),
+    bye(ByeMsg),
+}
+
+/// Why an incoming line failed to decode: not JSON at all, or valid JSON
+/// that is not a known message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    BadJson(String),
+    UnknownMessage(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadJson(d) => write!(f, "bad json: {d}"),
+            DecodeError::UnknownMessage(d) => write!(f, "unknown message: {d}"),
+        }
+    }
+}
+
+/// Serialize any protocol message to its one-line wire form (no trailing
+/// newline — the transport adds it).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("protocol messages always serialize")
+}
+
+fn decode<T: serde::de::Deserialize>(line: &str) -> Result<T, DecodeError> {
+    // Two-stage decode so the error distinguishes unparseable bytes from
+    // a well-formed JSON value that is not a protocol message.
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| DecodeError::BadJson(e.to_string()))?;
+    serde_json::from_value(value).map_err(|e| DecodeError::UnknownMessage(e.to_string()))
+}
+
+/// Parse one client line.
+pub fn decode_client(line: &str) -> Result<ClientMsg, DecodeError> {
+    decode(line)
+}
+
+/// Parse one server line.
+pub fn decode_server(line: &str) -> Result<ServerMsg, DecodeError> {
+    decode(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_geo::Point;
+    use com_sim::{PlatformId, RequestId, Timestamp};
+
+    #[test]
+    fn client_messages_round_trip() {
+        let request = RequestSpec::new(
+            RequestId(7),
+            PlatformId(0),
+            Timestamp::from_secs(12.5),
+            Point::new(1.0, 2.0),
+            9.5,
+        );
+        let msgs = vec![
+            ClientMsg::request(request),
+            ClientMsg::tick { to: 99.25 },
+            ClientMsg::stats,
+            ClientMsg::shutdown,
+        ];
+        for msg in msgs {
+            let line = encode(&msg);
+            assert!(!line.contains('\n'), "wire form must be one line: {line}");
+            let back = decode_client(&line).unwrap();
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn unit_variants_are_bare_strings() {
+        assert_eq!(encode(&ClientMsg::stats), "\"stats\"");
+        assert_eq!(encode(&ServerMsg::busy), "\"busy\"");
+        assert_eq!(encode(&ServerMsg::ok), "\"ok\"");
+    }
+
+    #[test]
+    fn decode_distinguishes_bad_json_from_unknown_message() {
+        assert!(matches!(
+            decode_client("{not json"),
+            Err(DecodeError::BadJson(_))
+        ));
+        assert!(matches!(
+            decode_client("{\"frobnicate\": 1}"),
+            Err(DecodeError::UnknownMessage(_))
+        ));
+        assert!(matches!(
+            decode_client("42"),
+            Err(DecodeError::UnknownMessage(_))
+        ));
+    }
+
+    #[test]
+    fn hello_round_trips_with_world_config() {
+        let hello = ClientMsg::hello(Hello {
+            matcher: "demcom".into(),
+            seed: 7,
+            world: WorldConfig::city(10.0),
+            platforms: vec!["A".into(), "B".into()],
+            max_value: Some(30.0),
+        });
+        let back = decode_client(&encode(&hello)).unwrap();
+        let ClientMsg::hello(h) = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(h.matcher, "demcom");
+        assert_eq!(h.world, WorldConfig::city(10.0));
+        assert_eq!(h.max_value, Some(30.0));
+    }
+}

@@ -1,0 +1,542 @@
+//! The threaded TCP server behind `matchd`.
+//!
+//! One accept thread polls a non-blocking listener; each connection gets
+//! a **reader thread** (socket → bounded ingress queue) and a **session
+//! thread** (queue → [`ServeSession`] → responses). The queue is a
+//! `std::sync::mpsc::sync_channel` with fixed capacity: when it is full
+//! the reader *drops* the line, replies `"busy"` out of band, and bumps
+//! the server-wide drop counter — ingress never grows unboundedly no
+//! matter how fast the client floods.
+//!
+//! Teardown is always graceful: a protocol `shutdown`, a client
+//! disconnect, or [`ServerHandle::shutdown`] all drain the session
+//! through [`ServeSession::finish`] — the run is closed, audited with
+//! `com_core::validate_run`, and (when the socket still exists) reported
+//! in a `bye`. Reader threads poll a stop flag on a read timeout, so
+//! every thread joins; nothing is detached.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{decode_client, encode, ClientMsg, DecodeError, ErrorMsg, ServerMsg};
+use crate::session::ServeSession;
+
+/// How long blocking points (socket reads, queue receives) wait before
+/// re-checking the stop flag. Bounds shutdown latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Ingress queue capacity per connection (lines buffered between the
+    /// reader and the session thread before `busy` kicks in).
+    pub queue_capacity: usize,
+    /// Exit the accept loop after the first connection finishes (CI and
+    /// one-shot benchmarks).
+    pub once: bool,
+    /// Print a per-session ingest-latency summary to stderr at teardown.
+    pub print_stats: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: 1024,
+            once: false,
+            print_stats: false,
+        }
+    }
+}
+
+/// Monotonic server-wide counters, shared with tests and `stats`
+/// responses.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    pub connections: AtomicU64,
+    pub sessions_finished: AtomicU64,
+    /// Lines dropped by full ingress queues (busy responses sent).
+    pub dropped: AtomicU64,
+    /// Protocol errors answered (bad JSON, unknown message, …).
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServerCounters {
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+    pub fn sessions_finished(&self) -> u64 {
+        self.sessions_finished.load(Ordering::Relaxed)
+    }
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server. Dropping the handle stops it; prefer
+/// [`ServerHandle::shutdown`] (or [`ServerHandle::join`] in `once` mode)
+/// to observe the join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
+    }
+
+    /// Signal stop and join every thread. Sessions still connected are
+    /// drained, audited, and sent a final `bye`.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Wait for the accept loop to exit on its own (`once` mode).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind and start serving. Returns once the listener is live; the accept
+/// loop runs on its own thread until [`ServerHandle::shutdown`] (or, with
+/// [`ServerConfig::once`], until the first connection completes).
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(ServerCounters::default());
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || accept_loop(listener, config, stop, counters))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        counters,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let stop = Arc::clone(&stop);
+                let counters = Arc::clone(&counters);
+                let conf = config.clone();
+                let handle =
+                    std::thread::spawn(move || handle_connection(stream, conf, stop, counters));
+                if config.once {
+                    let _ = handle.join();
+                    break;
+                }
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL / 2);
+            }
+            Err(_) => break,
+        }
+        // Reap finished connections so the vec stays bounded.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// What flows from the reader thread to the session thread.
+pub(crate) enum Ingress {
+    Line(String),
+    /// The client closed (or broke) the connection.
+    Eof,
+}
+
+/// The bounded reader→session queue with the busy/drop policy attached —
+/// split out so backpressure is deterministically unit-testable without
+/// sockets.
+pub struct IngressQueue {
+    tx: SyncSender<Ingress>,
+    writer: SharedWriter,
+    counters: Arc<ServerCounters>,
+}
+
+impl IngressQueue {
+    /// Build a queue of `capacity` lines. Returns the push side and the
+    /// receive side.
+    pub(crate) fn new(
+        capacity: usize,
+        writer: SharedWriter,
+        counters: Arc<ServerCounters>,
+    ) -> (Self, Receiver<Ingress>) {
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        (
+            IngressQueue {
+                tx,
+                writer,
+                counters,
+            },
+            rx,
+        )
+    }
+
+    /// Try to enqueue one line. When the queue is full the line is
+    /// dropped: the drop counter increments and `busy` is written to the
+    /// client. Returns `false` when the session side is gone.
+    pub(crate) fn push_line(&self, line: String) -> bool {
+        match self.tx.try_send(Ingress::Line(line)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                self.writer.send(&ServerMsg::busy);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+
+    /// Signal end-of-stream. Blocks until the session thread has room —
+    /// EOF must never be dropped, or the session would leak.
+    pub(crate) fn push_eof(&self) {
+        let _ = self.tx.send(Ingress::Eof);
+    }
+}
+
+/// A line-oriented writer shared by the session thread (responses) and
+/// the reader thread (out-of-band `busy`).
+#[derive(Clone)]
+pub(crate) struct SharedWriter {
+    inner: Arc<Mutex<Option<TcpStream>>>,
+}
+
+impl SharedWriter {
+    fn new(stream: Option<TcpStream>) -> Self {
+        SharedWriter {
+            inner: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Detached writer for tests — every send is a no-op.
+    #[cfg(test)]
+    pub(crate) fn detached() -> Self {
+        SharedWriter::new(None)
+    }
+
+    /// Write one message line. Errors are deliberately swallowed: a
+    /// vanished peer must not abort the draining session.
+    fn send(&self, msg: &ServerMsg) {
+        let mut guard = self.inner.lock().expect("writer lock");
+        if let Some(stream) = guard.as_mut() {
+            let mut line = encode(msg);
+            line.push('\n');
+            let _ = stream.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let writer = SharedWriter::new(stream.try_clone().ok());
+    let (queue, rx) =
+        IngressQueue::new(config.queue_capacity, writer.clone(), Arc::clone(&counters));
+
+    // `done` lets the session thread stop the reader when the protocol
+    // ends the session while the socket is still open.
+    let done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || reader_loop(stream, queue, stop, done))
+    };
+
+    session_loop(rx, writer, &config, &stop, &counters);
+    done.store(true, Ordering::SeqCst);
+    let _ = reader.join();
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    queue: IngressQueue,
+    stop: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) || done.load(Ordering::SeqCst) {
+            queue.push_eof();
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                queue.push_eof();
+                return;
+            }
+            Ok(_) => {
+                let text = std::mem::take(&mut line);
+                let text = text.trim();
+                if !text.is_empty() && !queue.push_line(text.to_string()) {
+                    return; // session side gone
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: partial bytes (if any) stay in `line`;
+                // loop to re-check the stop flags.
+            }
+            Err(_) => {
+                queue.push_eof();
+                return;
+            }
+        }
+    }
+}
+
+fn session_loop(
+    rx: Receiver<Ingress>,
+    writer: SharedWriter,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    counters: &Arc<ServerCounters>,
+) {
+    let mut session: Option<ServeSession> = None;
+    let mut said_bye = false;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(Ingress::Line(text)) => {
+                let ended = handle_line(&text, &mut session, &writer, counters, &mut said_bye);
+                if ended {
+                    break;
+                }
+            }
+            Ok(Ingress::Eof) => break,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Whatever ended the loop — protocol shutdown, client disconnect, or
+    // server stop — the session is drained and audited exactly once.
+    if let Some(live) = session.take() {
+        let finished = live.finish();
+        counters.sessions_finished.fetch_add(1, Ordering::Relaxed);
+        if !said_bye {
+            writer.send(&ServerMsg::bye(finished.bye()));
+        }
+        if config.print_stats {
+            let h = &finished.ingest_ns;
+            eprintln!(
+                "session {}: {} events, {} findings, ingest p50 {}ns p99 {}ns",
+                finished.run.algorithm,
+                finished.instance.stream.len(),
+                finished.findings.len(),
+                h.p50(),
+                h.p99(),
+            );
+        }
+    }
+}
+
+fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
+    ServerMsg::error(ErrorMsg {
+        code: code.into(),
+        detail: detail.into(),
+    })
+}
+
+/// Process one decoded line; returns `true` when the protocol ended the
+/// session (`shutdown`).
+fn handle_line(
+    text: &str,
+    session: &mut Option<ServeSession>,
+    writer: &SharedWriter,
+    counters: &Arc<ServerCounters>,
+    said_bye: &mut bool,
+) -> bool {
+    let msg = match decode_client(text) {
+        Ok(msg) => msg,
+        Err(DecodeError::BadJson(detail)) => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            writer.send(&error("bad-json", detail));
+            return false;
+        }
+        Err(DecodeError::UnknownMessage(detail)) => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            writer.send(&error("unknown-message", detail));
+            return false;
+        }
+    };
+    match msg {
+        ClientMsg::hello(hello) => {
+            if session.is_some() {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&error("duplicate-hello", "session already open"));
+                return false;
+            }
+            match ServeSession::open(&hello) {
+                Ok(s) => {
+                    writer.send(&ServerMsg::welcome {
+                        algorithm: s.algorithm(),
+                    });
+                    *session = Some(s);
+                }
+                Err(detail) => {
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    writer.send(&error("unknown-matcher", detail));
+                }
+            }
+            false
+        }
+        ClientMsg::worker(msg) => {
+            with_session(session, writer, counters, |s| match s.worker(&msg) {
+                Ok(()) => ServerMsg::ok,
+                Err(violation) => error("constraint", violation.to_string()),
+            });
+            false
+        }
+        ClientMsg::request(spec) => {
+            with_session(session, writer, counters, |s| match s.request(&spec) {
+                Ok(response) => response,
+                Err(violation) => error("constraint", violation.to_string()),
+            });
+            false
+        }
+        ClientMsg::tick { to } => {
+            with_session(session, writer, counters, |s| match s.tick(to) {
+                Ok(()) => ServerMsg::ok,
+                Err(violation) => error("constraint", violation.to_string()),
+            });
+            false
+        }
+        ClientMsg::stats => {
+            let dropped = counters.dropped();
+            with_session(session, writer, counters, |s| {
+                ServerMsg::stats(s.stats(dropped))
+            });
+            false
+        }
+        ClientMsg::shutdown => {
+            if let Some(live) = session.take() {
+                let finished = live.finish();
+                counters.sessions_finished.fetch_add(1, Ordering::Relaxed);
+                writer.send(&ServerMsg::bye(finished.bye()));
+                *said_bye = true;
+                true
+            } else {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                writer.send(&error("no-session", "shutdown before hello"));
+                false
+            }
+        }
+    }
+}
+
+fn with_session(
+    session: &mut Option<ServeSession>,
+    writer: &SharedWriter,
+    counters: &Arc<ServerCounters>,
+    f: impl FnOnce(&mut ServeSession) -> ServerMsg,
+) {
+    match session.as_mut() {
+        Some(s) => {
+            let response = f(s);
+            if matches!(response, ServerMsg::error(_)) {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            writer.send(&response);
+        }
+        None => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            writer.send(&error("no-session", "say hello first"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backpressure contract, deterministically and without sockets:
+    /// a full queue drops the line and counts it, never blocks, never
+    /// grows.
+    #[test]
+    fn full_ingress_queue_drops_and_counts() {
+        let counters = Arc::new(ServerCounters::default());
+        let (queue, rx) = IngressQueue::new(2, SharedWriter::detached(), Arc::clone(&counters));
+        assert!(queue.push_line("a".into()));
+        assert!(queue.push_line("b".into()));
+        // Queue full: the next two lines are dropped, not queued.
+        assert!(queue.push_line("c".into()));
+        assert!(queue.push_line("d".into()));
+        assert_eq!(counters.dropped(), 2);
+        // Only the first two lines ever reach the session side.
+        let mut received = Vec::new();
+        while let Ok(Ingress::Line(l)) = rx.try_recv() {
+            received.push(l);
+        }
+        assert_eq!(received, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn push_after_receiver_drop_reports_disconnect() {
+        let counters = Arc::new(ServerCounters::default());
+        let (queue, rx) = IngressQueue::new(2, SharedWriter::detached(), Arc::clone(&counters));
+        drop(rx);
+        assert!(!queue.push_line("a".into()));
+        assert_eq!(counters.dropped(), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Server-side session state: one connected client driving one
+//! [`com_core::MatchSession`].
+//!
+//! Wraps the core session with what serving adds on top: the accumulated
+//! event log (so the finished run can be audited against a reconstructed
+//! [`Instance`]), per-worker histories fed over the wire, response
+//! classification (assign / reject / timeout), and an ingest-latency
+//! histogram.
+
+use std::collections::HashMap;
+
+use com_core::{
+    validate_run, MatchSession, MatcherRegistry, RunResult, SessionConfig, SessionOutput,
+};
+use com_obs::Histogram;
+use com_pricing::WorkerHistory;
+use com_sim::{ArrivalEvent, ConstraintViolation, EventStream, Instance, RequestSpec, Timestamp};
+use com_stream::WorkerId;
+
+use crate::protocol::{ByeMsg, Hello, ServerMsg, StatsMsg, WorkerMsg};
+
+/// One live matching session and everything needed to audit it at the
+/// end.
+pub struct ServeSession {
+    core: MatchSession<'static>,
+    world_config: com_sim::WorldConfig,
+    platform_names: Vec<String>,
+    histories: HashMap<WorkerId, WorkerHistory>,
+    events: Vec<ArrivalEvent>,
+    /// Nanoseconds spent inside `ingest` per event (decision + world
+    /// update, excluding transport).
+    pub ingest_ns: Histogram,
+    assigned: u64,
+    rejected: u64,
+    refused: u64,
+}
+
+/// Everything a finished session reports: the run, the audit verdict,
+/// and the instance it was audited against.
+pub struct FinishedSession {
+    pub run: RunResult,
+    pub findings: Vec<String>,
+    pub instance: Instance,
+    pub ingest_ns: Histogram,
+}
+
+impl ServeSession {
+    /// Open a session from a `hello`. Fails with the registry's own
+    /// message (listing valid specs) when the matcher is unknown.
+    pub fn open(hello: &Hello) -> Result<Self, String> {
+        let registry = MatcherRegistry::builtin();
+        let factory = registry
+            .resolve(&hello.matcher)
+            .map_err(|e| e.to_string())?;
+        let config = SessionConfig {
+            world: hello.world.clone(),
+            platform_names: hello.platforms.clone(),
+            histories: HashMap::new(),
+            max_value_hint: hello.max_value,
+        };
+        let core = MatchSession::new(config, factory(), hello.seed);
+        Ok(ServeSession {
+            core,
+            world_config: hello.world.clone(),
+            platform_names: hello.platforms.clone(),
+            histories: HashMap::new(),
+            events: Vec::new(),
+            ingest_ns: Histogram::new(),
+            assigned: 0,
+            rejected: 0,
+            refused: 0,
+        })
+    }
+
+    /// The matcher's display name (for `welcome`).
+    pub fn algorithm(&self) -> String {
+        self.core.algorithm().to_string()
+    }
+
+    /// Ingest a worker arrival. No output on success.
+    pub fn worker(&mut self, msg: &WorkerMsg) -> Result<(), ConstraintViolation> {
+        if let Some(history) = &msg.history {
+            self.histories.insert(msg.spec.id, history.clone());
+            self.core.add_history(msg.spec.id, history.clone());
+        }
+        let event = ArrivalEvent::Worker(msg.spec);
+        let started = std::time::Instant::now();
+        self.core.ingest(&event)?;
+        self.ingest_ns.record(started.elapsed().as_nanos() as u64);
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Ingest a request arrival and classify the one decision it yields.
+    pub fn request(&mut self, spec: &RequestSpec) -> Result<ServerMsg, ConstraintViolation> {
+        let event = ArrivalEvent::Request(*spec);
+        let started = std::time::Instant::now();
+        let outputs = self.core.ingest(&event)?;
+        self.ingest_ns.record(started.elapsed().as_nanos() as u64);
+        self.events.push(event);
+        let Some(output) = outputs.into_iter().next() else {
+            // A request event always yields exactly one decision; guard
+            // anyway so a future engine change cannot panic the daemon.
+            return Ok(ServerMsg::error(crate::protocol::ErrorMsg {
+                code: "constraint".into(),
+                detail: "request produced no decision".into(),
+            }));
+        };
+        Ok(match output {
+            SessionOutput::Decided(a) if a.is_completed() => {
+                self.assigned += 1;
+                ServerMsg::assign(a)
+            }
+            SessionOutput::Decided(a) => {
+                self.rejected += 1;
+                ServerMsg::reject(a)
+            }
+            SessionOutput::Refused {
+                assignment,
+                violation,
+            } => {
+                self.refused += 1;
+                ServerMsg::timeout {
+                    assignment,
+                    violation: violation.to_string(),
+                }
+            }
+        })
+    }
+
+    /// Advance the session clock without an event.
+    pub fn tick(&mut self, to_secs: f64) -> Result<(), ConstraintViolation> {
+        self.core.drain_timers(Timestamp::from_secs(to_secs))
+    }
+
+    /// Current counters (`stats` response); `dropped` is supplied by the
+    /// server, which owns the ingress queues.
+    pub fn stats(&self, dropped: u64) -> StatsMsg {
+        StatsMsg {
+            events: self.core.events_ingested() as u64,
+            assigned: self.assigned,
+            rejected: self.rejected,
+            refused: self.refused,
+            dropped,
+            now_secs: self.core.now().as_secs(),
+        }
+    }
+
+    /// Close the run, rebuild the [`Instance`] the session actually
+    /// played (the ingested event log is time-ordered by construction —
+    /// out-of-order lines were refused at ingest), and audit it with
+    /// `com_core::validate_run`.
+    pub fn finish(self) -> FinishedSession {
+        let instance = Instance {
+            config: self.world_config,
+            platform_names: self.platform_names,
+            histories: self.histories,
+            stream: EventStream::from_ordered(self.events),
+        };
+        let run = self.core.finish();
+        let findings: Vec<String> = validate_run(&instance, &run)
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        FinishedSession {
+            run,
+            findings,
+            instance,
+            ingest_ns: self.ingest_ns,
+        }
+    }
+}
+
+impl FinishedSession {
+    /// The `bye` payload for this finished session.
+    pub fn bye(&self) -> ByeMsg {
+        ByeMsg {
+            algorithm: self.run.algorithm.clone(),
+            revenue: self.run.total_revenue(),
+            completed: self.run.completed() as u64,
+            cooperative: self.run.cooperative_count() as u64,
+            events: self.instance.stream.len() as u64,
+            refused: self.run.failures.len() as u64,
+            audit_findings: self.findings.clone(),
+            canonical: com_bench::runner::canonical_run_json(&self.run),
+        }
+    }
+}

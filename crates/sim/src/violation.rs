@@ -55,6 +55,15 @@ pub enum ConstraintViolation {
     },
     /// Events must be replayed in time order.
     TimeRewind { now: Timestamp, to: Timestamp },
+    /// A worker's arrival event was processed twice.
+    WorkerArrivedTwice { worker: WorkerId },
+    /// A worker arrival event was processed after the clock already
+    /// passed its arrival time (events must be fed in time order).
+    ArrivalOutOfOrder {
+        worker: WorkerId,
+        arrival: Timestamp,
+        now: Timestamp,
+    },
     /// An `Inner` decision used a worker from another platform.
     ForeignWorker {
         worker: WorkerId,
@@ -117,6 +126,16 @@ impl fmt::Display for ConstraintViolation {
                  after request {request} arrived at {arrival}"
             ),
             TimeRewind { now, to } => write!(f, "time must be monotone: {to} < {now}"),
+            WorkerArrivedTwice { worker } => write!(f, "worker {worker} arrived twice"),
+            ArrivalOutOfOrder {
+                worker,
+                arrival,
+                now,
+            } => write!(
+                f,
+                "arrival event out of order for worker {worker} \
+                 (arrival {arrival}, clock already at {now})"
+            ),
             ForeignWorker {
                 worker,
                 worker_platform,

@@ -5,12 +5,16 @@ use std::collections::HashMap;
 use com_geo::{BoundingBox, DistanceMetric, Km, Point};
 use com_pricing::WorkerHistory;
 use com_stream::{PlatformId, RequestSpec, TimerQueue, Timestamp, Value, WorkerId, WorkerSpec};
+use serde::{Deserialize, Serialize};
 
 use crate::waiting_list::IdleWorker;
 use crate::{ConstraintViolation, ServiceModel, WaitingList, Worker, WorkerState};
 
-/// Static configuration of a world.
-#[derive(Debug, Clone, PartialEq)]
+/// Static configuration of a world. Serializes as plain JSON (the
+/// `com-serve` wire protocol ships one in its `hello` message); the
+/// unbounded-shift `ServiceModel` caveat applies — see
+/// [`ServiceModel::shift_secs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorldConfig {
     /// City extent (waiting-list spatial indexes are built over it).
     pub extent: BoundingBox,
@@ -199,16 +203,36 @@ impl World {
 
     /// Process a worker arrival event: the worker joins its home
     /// platform's waiting list at its spec location.
+    ///
+    /// # Panics
+    /// Panics on a repeated arrival, an unknown id, or an arrival event
+    /// fed after the clock already passed its time; see
+    /// [`World::try_worker_arrives`] for the fallible form.
     pub fn worker_arrives(&mut self, id: WorkerId) {
-        let worker = self.workers.get_mut(&id).expect("unknown worker");
-        assert!(
-            matches!(worker.state, WorkerState::NotArrived),
-            "worker {id} arrived twice"
-        );
-        assert!(
-            worker.spec.arrival >= self.now || (worker.spec.arrival - self.now).abs() < 1e-9,
-            "arrival event out of order for worker {id}"
-        );
+        if let Err(violation) = self.try_worker_arrives(id) {
+            panic!("{violation}");
+        }
+    }
+
+    /// Fallible arrival processing: unknown ids, repeated arrivals, and
+    /// out-of-order arrival events become typed
+    /// [`ConstraintViolation`]s. On error the world is unchanged, so a
+    /// live event feed (the serving daemon) can reject the one bad event
+    /// and keep going.
+    pub fn try_worker_arrives(&mut self, id: WorkerId) -> Result<(), ConstraintViolation> {
+        let Some(worker) = self.workers.get_mut(&id) else {
+            return Err(ConstraintViolation::UnknownWorker { worker: id });
+        };
+        if !matches!(worker.state, WorkerState::NotArrived) {
+            return Err(ConstraintViolation::WorkerArrivedTwice { worker: id });
+        }
+        if !(worker.spec.arrival >= self.now || (worker.spec.arrival - self.now).abs() < 1e-9) {
+            return Err(ConstraintViolation::ArrivalOutOfOrder {
+                worker: id,
+                arrival: worker.spec.arrival,
+                now: self.now,
+            });
+        }
         worker.enter_idle(worker.spec.location);
         let entry = IdleWorker {
             id,
@@ -223,6 +247,7 @@ impl World {
         }
         self.waiting[platform.index()].add(entry);
         self.record_occupancy_gauges();
+        Ok(())
     }
 
     /// Idle workers of platform `p` covering `point` (the candidate

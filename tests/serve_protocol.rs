@@ -1,0 +1,240 @@
+//! Protocol robustness: malformed lines, out-of-protocol messages,
+//! out-of-order timestamps, and mid-stream disconnects must each produce
+//! a structured error response or a clean audited teardown — never a
+//! panic, a wedged session, or a leaked thread. Thread hygiene is
+//! observable: `ServerHandle::shutdown` joins every spawned thread, so
+//! each test ending in `shutdown()` would hang if a thread leaked.
+
+use std::time::{Duration, Instant};
+
+use com_geo::Point;
+use com_serve::{
+    serve, Client, ClientMsg, Hello, ServerConfig, ServerHandle, ServerMsg, WorkerMsg,
+};
+use com_sim::{PlatformId, RequestId, RequestSpec, Timestamp, WorkerId, WorkerSpec, WorldConfig};
+
+fn start_server() -> ServerHandle {
+    serve(ServerConfig::default()).expect("bind ephemeral port")
+}
+
+fn hello_msg() -> ClientMsg {
+    ClientMsg::hello(Hello {
+        matcher: "demcom".into(),
+        seed: 7,
+        world: WorldConfig::city(10.0),
+        platforms: vec!["A".into(), "B".into()],
+        max_value: Some(20.0),
+    })
+}
+
+fn open_session(addr: &str) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    let (response, _) = client.rpc(&hello_msg()).expect("hello");
+    assert!(matches!(response, ServerMsg::welcome { .. }));
+    client
+}
+
+fn expect_error(client: &mut Client, code: &str) {
+    match client.recv().expect("response") {
+        ServerMsg::error(e) => assert_eq!(e.code, code, "detail: {}", e.detail),
+        other => panic!("expected {code} error, got {other:?}"),
+    }
+}
+
+fn worker(id: u64, at_secs: f64) -> WorkerSpec {
+    WorkerSpec::new(
+        WorkerId(id),
+        PlatformId(0),
+        Timestamp::from_secs(at_secs),
+        Point::new(5.0, 5.0),
+        1.0,
+    )
+}
+
+#[test]
+fn malformed_json_gets_structured_error_and_session_survives() {
+    let handle = start_server();
+    let mut client = open_session(&handle.addr().to_string());
+
+    client.send_raw("{this is not json").expect("send");
+    expect_error(&mut client, "bad-json");
+
+    // The session is still usable afterwards.
+    let msg = ClientMsg::worker(WorkerMsg {
+        spec: worker(1, 1.0),
+        history: None,
+    });
+    let (response, _) = client.rpc(&msg).expect("worker");
+    assert!(matches!(response, ServerMsg::ok));
+
+    let (response, _) = client.rpc(&ClientMsg::shutdown).expect("shutdown");
+    assert!(matches!(response, ServerMsg::bye(_)));
+    assert_eq!(handle.counters().protocol_errors(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_message_type_gets_structured_error() {
+    let handle = start_server();
+    let mut client = open_session(&handle.addr().to_string());
+
+    client
+        .send_raw("{\"frobnicate\": {\"x\": 1}}")
+        .expect("send");
+    expect_error(&mut client, "unknown-message");
+    client.send_raw("42").expect("send");
+    expect_error(&mut client, "unknown-message");
+    handle.shutdown();
+}
+
+#[test]
+fn events_before_hello_and_duplicate_hello_are_refused() {
+    let handle = start_server();
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let (response, _) = client
+        .rpc(&ClientMsg::request(RequestSpec::new(
+            RequestId(1),
+            PlatformId(0),
+            Timestamp::from_secs(1.0),
+            Point::new(1.0, 1.0),
+            5.0,
+        )))
+        .expect("request");
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "no-session");
+
+    let (response, _) = client.rpc(&hello_msg()).expect("hello");
+    assert!(matches!(response, ServerMsg::welcome { .. }));
+    let (response, _) = client.rpc(&hello_msg()).expect("second hello");
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "duplicate-hello");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_matcher_is_refused_with_the_registry_message() {
+    let handle = start_server();
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let (response, _) = client
+        .rpc(&ClientMsg::hello(Hello {
+            matcher: "does-not-exist".into(),
+            seed: 1,
+            world: WorldConfig::city(10.0),
+            platforms: vec!["A".into()],
+            max_value: None,
+        }))
+        .expect("hello");
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "unknown-matcher");
+    // The registry's error lists valid specs, so the client can recover.
+    assert!(e.detail.contains("demcom"), "detail: {}", e.detail);
+    handle.shutdown();
+}
+
+#[test]
+fn out_of_order_timestamps_are_refused_without_corrupting_the_session() {
+    let handle = start_server();
+    let mut client = open_session(&handle.addr().to_string());
+
+    let (response, _) = client
+        .rpc(&ClientMsg::worker(WorkerMsg {
+            spec: worker(1, 10.0),
+            history: None,
+        }))
+        .expect("worker");
+    assert!(matches!(response, ServerMsg::ok));
+
+    // Clock is at t=10; an event at t=5 is a time rewind.
+    let (response, _) = client
+        .rpc(&ClientMsg::worker(WorkerMsg {
+            spec: worker(2, 5.0),
+            history: None,
+        }))
+        .expect("worker");
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "constraint");
+    assert!(e.detail.contains("monotone"), "detail: {}", e.detail);
+
+    // A tick backwards is refused the same way.
+    let (response, _) = client.rpc(&ClientMsg::tick { to: 1.0 }).expect("tick");
+    assert!(matches!(response, ServerMsg::error(_)));
+
+    // The session survives: in-order traffic still works and the final
+    // run audits clean (the refused events never entered the log).
+    let (response, _) = client
+        .rpc(&ClientMsg::worker(WorkerMsg {
+            spec: worker(3, 20.0),
+            history: None,
+        }))
+        .expect("worker");
+    assert!(matches!(response, ServerMsg::ok));
+    let (response, _) = client.rpc(&ClientMsg::shutdown).expect("shutdown");
+    let ServerMsg::bye(bye) = response else {
+        panic!("expected bye, got {response:?}");
+    };
+    assert_eq!(bye.events, 2); // workers 1 and 3 only
+    assert_eq!(bye.audit_findings, Vec::<String>::new());
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_worker_arrival_is_a_constraint_error() {
+    let handle = start_server();
+    let mut client = open_session(&handle.addr().to_string());
+    let msg = ClientMsg::worker(WorkerMsg {
+        spec: worker(1, 1.0),
+        history: None,
+    });
+    let (response, _) = client.rpc(&msg).expect("worker");
+    assert!(matches!(response, ServerMsg::ok));
+    let (response, _) = client.rpc(&msg).expect("worker again");
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "constraint");
+    assert!(e.detail.contains("arrived twice"), "detail: {}", e.detail);
+    handle.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_drains_and_audits_the_session() {
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+    {
+        let mut client = open_session(&addr);
+        let (response, _) = client
+            .rpc(&ClientMsg::worker(WorkerMsg {
+                spec: worker(1, 1.0),
+                history: None,
+            }))
+            .expect("worker");
+        assert!(matches!(response, ServerMsg::ok));
+        // Drop the connection without `shutdown`.
+    }
+    // The server notices the EOF, finishes and audits the session, and
+    // joins the connection's threads.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.counters().sessions_finished() < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "session not drained after disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The server is still healthy: a fresh session works end to end.
+    let mut client = open_session(&addr);
+    let (response, _) = client.rpc(&ClientMsg::shutdown).expect("shutdown");
+    assert!(matches!(response, ServerMsg::bye(_)));
+    assert_eq!(handle.counters().sessions_finished(), 2);
+    assert_eq!(handle.counters().dropped(), 0);
+    handle.shutdown();
+}
