@@ -68,34 +68,28 @@ impl Collector {
         &mut self.hists.last_mut().expect("just pushed").1
     }
 
-    fn drain(&mut self) -> RunTelemetry {
+    /// A non-destructive snapshot of the current run's telemetry
+    /// (histograms cloned, nothing cleared) — what [`snapshot_run`]
+    /// returns for live mid-run reporting.
+    fn report(&self) -> RunTelemetry {
         let mut phases: Vec<PhaseStats> = self
             .hists
-            .drain(..)
-            .map(|(phase, h)| PhaseStats {
-                phase: phase.to_string(),
-                count: h.count(),
-                mean_ns: h.mean(),
-                p50_ns: h.p50(),
-                p90_ns: h.p90(),
-                p99_ns: h.p99(),
-                max_ns: h.max(),
-                total_ns: h.total(),
-            })
+            .iter()
+            .map(|(phase, h)| PhaseStats::from_histogram(*phase, h.clone()))
             .collect();
         phases.sort_by(|a, b| a.phase.cmp(&b.phase));
         let mut counters: Vec<CounterStat> = self
             .counters
-            .drain(..)
+            .iter()
             .map(|(name, value)| CounterStat {
                 name: name.to_string(),
-                value,
+                value: *value,
             })
             .collect();
         counters.sort_by(|a, b| a.name.cmp(&b.name));
         let mut gauges: Vec<GaugeStat> = self
             .gauges
-            .drain(..)
+            .iter()
             .map(|(name, g)| GaugeStat {
                 name: name.to_string(),
                 last: g.last,
@@ -104,11 +98,20 @@ impl Collector {
             .collect();
         gauges.sort_by(|a, b| a.name.cmp(&b.name));
         RunTelemetry {
-            algorithm: std::mem::take(&mut self.algorithm),
+            algorithm: self.algorithm.clone(),
             phases,
             counters,
             gauges,
         }
+    }
+
+    fn drain(&mut self) -> RunTelemetry {
+        let mut report = self.report();
+        report.algorithm = std::mem::take(&mut self.algorithm);
+        self.hists.clear();
+        self.counters.clear();
+        self.gauges.clear();
+        report
     }
 }
 
@@ -174,6 +177,15 @@ pub fn end_run() -> Option<RunTelemetry> {
         report
     });
     report
+}
+
+/// A live snapshot of the current run's telemetry without ending it:
+/// nothing is drained, spans keep accumulating, and a later [`end_run`]
+/// still returns the full run. `None` when the collector is not
+/// installed. This is what serving's deep `stats` responses use to report
+/// the phase table mid-session.
+pub fn snapshot_run() -> Option<RunTelemetry> {
+    with_collector(|c| c.report())
 }
 
 /// RAII span: times the region between construction and drop and records

@@ -17,7 +17,7 @@ pub const MAX_TRACKABLE: u64 = (1 << (MAX_MAJOR + 1)) - 1;
 
 /// Fixed-memory streaming histogram over `u64` samples (nanoseconds, by
 /// convention, but any magnitude works).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     counts: Box<[u64; BUCKETS]>,
     count: u64,

@@ -36,8 +36,8 @@ mod histogram;
 mod telemetry;
 
 pub use collector::{
-    begin_run, counter_add, end_run, gauge_set, install, install_with_trace, is_active, span,
-    uninstall, SpanGuard,
+    begin_run, counter_add, end_run, gauge_set, install, install_with_trace, is_active,
+    snapshot_run, span, uninstall, SpanGuard,
 };
 pub use histogram::{Histogram, MAX_TRACKABLE};
 pub use telemetry::{CounterStat, GaugeStat, PhaseStats, RunTelemetry};
@@ -51,3 +51,16 @@ pub const PHASE_CANDIDATES: &str = "candidate-search";
 pub const PHASE_PRICING: &str = "pricing";
 /// Cross-platform offer loop (Bernoulli acceptance draws, assignment).
 pub const PHASE_OFFER: &str = "offer";
+
+// Serving-path phases (`matchd`'s per-connection hot path; see com-serve).
+// The matcher's own work appears inside `ingest` as the nested
+// [`PHASE_DECISION`] span.
+
+/// Parsing one wire line into a protocol message.
+pub const PHASE_SERVE_DECODE: &str = "decode";
+/// Feeding one event through the session (world update + decision).
+pub const PHASE_SERVE_INGEST: &str = "ingest";
+/// Serializing one response message to its wire form.
+pub const PHASE_SERVE_ENCODE: &str = "encode";
+/// Writing the encoded response to the socket.
+pub const PHASE_SERVE_FLUSH: &str = "flush";

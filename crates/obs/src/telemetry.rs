@@ -1,7 +1,13 @@
 //! Per-run telemetry report: what [`crate::end_run`] hands back to the
 //! engine for attachment to its `RunResult`.
 
+use crate::histogram::Histogram;
+
 /// Latency summary of one instrumented phase within a run.
+///
+/// The summary fields (`mean_ns`, `p50_ns`, …) are snapshots of `hist` at
+/// report time; the histogram itself rides along so reports can be merged
+/// without losing distribution information (see [`RunTelemetry::merged`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseStats {
     pub phase: String,
@@ -17,6 +23,29 @@ pub struct PhaseStats {
     pub max_ns: u64,
     /// Exact sum of all span durations.
     pub total_ns: u128,
+    /// The full log-bucketed latency distribution behind the summary
+    /// fields. Merging reports folds these bucket-by-bucket, so merged
+    /// percentiles carry the same ~6% bucket-quantization error as
+    /// per-run ones — no extra approximation.
+    pub hist: Histogram,
+}
+
+impl PhaseStats {
+    /// Build a phase summary from its histogram (the only constructor —
+    /// keeps the summary fields consistent with the distribution).
+    pub fn from_histogram(phase: impl Into<String>, hist: Histogram) -> Self {
+        PhaseStats {
+            phase: phase.into(),
+            count: hist.count(),
+            mean_ns: hist.mean(),
+            p50_ns: hist.p50(),
+            p90_ns: hist.p90(),
+            p99_ns: hist.p99(),
+            max_ns: hist.max(),
+            total_ns: hist.total(),
+            hist,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -54,11 +83,11 @@ impl RunTelemetry {
     /// collectors its worker threads filled into a single report.
     ///
     /// Counters sum exactly and gauges keep the max-of-max (with the last
-    /// report's `last`). Phase `count`/`total_ns`/`max_ns`/`mean_ns` merge
-    /// exactly; the streaming histograms behind `p50/p90/p99` are drained
-    /// when each report is built, so merged percentiles are the
-    /// count-weighted mean of the inputs' percentiles — an approximation
-    /// adequate for cross-thread summaries (per-run reports stay exact).
+    /// report's `last`). Phases merge their underlying log-bucketed
+    /// histograms bucket-by-bucket, so the merged `p50/p90/p99` are the
+    /// true quantiles of the combined distribution (same ~6%
+    /// bucket-quantization error as any single report), and
+    /// `count`/`mean_ns`/`max_ns`/`total_ns` are exact.
     ///
     /// The fold visits `reports` in slice order, so merging is
     /// deterministic when callers order reports deterministically (the
@@ -68,21 +97,14 @@ impl RunTelemetry {
             algorithm: algorithm.to_string(),
             ..RunTelemetry::default()
         };
+        // Phase histograms are folded first; summary fields are derived
+        // once from the merged distributions below.
+        let mut hists: Vec<(String, Histogram)> = Vec::new();
         for report in reports {
             for p in &report.phases {
-                match out.phases.iter_mut().find(|q| q.phase == p.phase) {
-                    Some(q) => {
-                        let (n0, n1) = (q.count as f64, p.count as f64);
-                        let total = (n0 + n1).max(1.0);
-                        q.mean_ns = (q.mean_ns * n0 + p.mean_ns * n1) / total;
-                        q.p50_ns = ((q.p50_ns as f64 * n0 + p.p50_ns as f64 * n1) / total) as u64;
-                        q.p90_ns = ((q.p90_ns as f64 * n0 + p.p90_ns as f64 * n1) / total) as u64;
-                        q.p99_ns = ((q.p99_ns as f64 * n0 + p.p99_ns as f64 * n1) / total) as u64;
-                        q.count += p.count;
-                        q.max_ns = q.max_ns.max(p.max_ns);
-                        q.total_ns += p.total_ns;
-                    }
-                    None => out.phases.push(p.clone()),
+                match hists.iter_mut().find(|(name, _)| *name == p.phase) {
+                    Some((_, h)) => h.merge(&p.hist),
+                    None => hists.push((p.phase.clone(), p.hist.clone())),
                 }
             }
             for c in &report.counters {
@@ -101,6 +123,10 @@ impl RunTelemetry {
                 }
             }
         }
+        out.phases = hists
+            .into_iter()
+            .map(|(phase, h)| PhaseStats::from_histogram(phase, h))
+            .collect();
         out.phases.sort_by(|a, b| a.phase.cmp(&b.phase));
         out.counters.sort_by(|a, b| a.name.cmp(&b.name));
         out.gauges.sort_by(|a, b| a.name.cmp(&b.name));
@@ -123,24 +149,19 @@ impl RunTelemetry {
 mod tests {
     use super::*;
 
-    fn phase(name: &str, count: u64, total: u128, max: u64) -> PhaseStats {
-        PhaseStats {
-            phase: name.to_string(),
-            count,
-            mean_ns: total as f64 / count.max(1) as f64,
-            p50_ns: max / 2,
-            p90_ns: max,
-            p99_ns: max,
-            max_ns: max,
-            total_ns: total,
+    fn phase_from_samples(name: &str, samples: &[u64]) -> PhaseStats {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
         }
+        PhaseStats::from_histogram(name, h)
     }
 
     #[test]
     fn merged_sums_counters_and_folds_phases() {
         let a = RunTelemetry {
             algorithm: "A".into(),
-            phases: vec![phase("decision", 4, 400, 200)],
+            phases: vec![phase_from_samples("decision", &[100, 100, 100, 100])],
             counters: vec![CounterStat {
                 name: "grid.cells_scanned".into(),
                 value: 10,
@@ -153,7 +174,10 @@ mod tests {
         };
         let b = RunTelemetry {
             algorithm: "B".into(),
-            phases: vec![phase("decision", 6, 1200, 500), phase("pricing", 2, 20, 15)],
+            phases: vec![
+                phase_from_samples("decision", &[200, 200, 200, 200, 200, 200]),
+                phase_from_samples("pricing", &[10, 10]),
+            ],
             counters: vec![
                 CounterStat {
                     name: "grid.cells_scanned".into(),
@@ -175,7 +199,7 @@ mod tests {
         let d = m.phase("decision").unwrap();
         assert_eq!(d.count, 10);
         assert_eq!(d.total_ns, 1600);
-        assert_eq!(d.max_ns, 500);
+        assert_eq!(d.max_ns, 200);
         assert!((d.mean_ns - 160.0).abs() < 1e-9);
         assert_eq!(m.phase("pricing").unwrap().count, 2);
         assert_eq!(m.counter("grid.cells_scanned"), Some(15));
@@ -189,5 +213,42 @@ mod tests {
     fn merged_of_empty_is_empty() {
         let m = RunTelemetry::merged("none", &[]);
         assert!(m.phases.is_empty() && m.counters.is_empty() && m.gauges.is_empty());
+    }
+
+    /// The historic count-weighted-percentile approximation could be off
+    /// by an unbounded factor on skewed inputs (e.g. one thread all-fast,
+    /// one all-slow); bucket merging reports the true combined quantile.
+    #[test]
+    fn merged_percentiles_are_true_quantiles_of_the_union() {
+        // 90 fast samples in one report, 10 slow in the other. The true
+        // p50 of the union is fast; the old count-weighted mean of the
+        // two p50s would have been ~0.1 * slow ≈ 100x too large.
+        let fast: Vec<u64> = vec![1_000; 90];
+        let slow: Vec<u64> = vec![1_000_000; 10];
+        let a = RunTelemetry {
+            algorithm: "a".into(),
+            phases: vec![phase_from_samples("decision", &fast)],
+            ..RunTelemetry::default()
+        };
+        let b = RunTelemetry {
+            algorithm: "b".into(),
+            phases: vec![phase_from_samples("decision", &slow)],
+            ..RunTelemetry::default()
+        };
+        let m = RunTelemetry::merged("m", &[a, b]);
+        let d = m.phase("decision").unwrap();
+
+        // Reference: one histogram fed the combined stream.
+        let mut both = Histogram::new();
+        for s in fast.iter().chain(slow.iter()) {
+            both.record(*s);
+        }
+        assert_eq!(d.p50_ns, both.p50());
+        assert_eq!(d.p90_ns, both.p90());
+        assert_eq!(d.p99_ns, both.p99());
+        assert_eq!(d.hist, both);
+        // Sanity: p50 stays in the fast cluster, p99 reaches the slow one.
+        assert!(d.p50_ns < 2_000, "p50 {} should be fast", d.p50_ns);
+        assert!(d.p99_ns > 500_000, "p99 {} should be slow", d.p99_ns);
     }
 }

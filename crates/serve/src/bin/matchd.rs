@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p com-serve --release --bin matchd -- \
-//!     [--addr HOST:PORT] [--addr-file FILE] [--queue N] [--once] [--stats]
+//!     [--addr HOST:PORT] [--addr-file FILE] [--queue N] [--once] [--stats] \
+//!     [--record DIR] [--no-telemetry]
 //! ```
 //!
 //! Listens for newline-delimited-JSON sessions (see
@@ -19,6 +20,13 @@
 //!   when full, lines are dropped and answered with `busy`.
 //! * `--once` — exit after the first connection finishes (CI smoke runs).
 //! * `--stats` — print a per-session ingest-latency summary on teardown.
+//! * `--record` — flight recorder: write one session trace
+//!   (`session-<conn>-<matcher>-<seed>.jsonl`, schema in
+//!   `com_serve::trace`) per connection into DIR; replay later with
+//!   `matchreplay`.
+//! * `--no-telemetry` — do not install the per-connection `com-obs`
+//!   collector; `stats_deep` then answers with empty phase tables.
+//!   Decisions are identical either way (telemetry is observer-only).
 //!
 //! Without `--once` the daemon runs until killed; every in-flight
 //! session is still drained and audited on client disconnect.
@@ -28,7 +36,7 @@ use com_serve::{serve, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: matchd [--addr HOST:PORT] [--addr-file FILE] [--queue N] \
-         [--once] [--stats]"
+         [--once] [--stats] [--record DIR] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -58,6 +66,8 @@ fn main() {
             }
             "--once" => config.once = true,
             "--stats" => config.print_stats = true,
+            "--record" => config.record_dir = Some(next("--record").into()),
+            "--no-telemetry" => config.telemetry = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -67,6 +77,9 @@ fn main() {
     }
 
     let once = config.once;
+    if let Some(dir) = &config.record_dir {
+        println!("matchd recording session traces to {}", dir.display());
+    }
     let handle = serve(config).unwrap_or_else(|e| {
         eprintln!("matchd: cannot bind: {e}");
         std::process::exit(1);

@@ -10,7 +10,11 @@
 //!
 //! Streams a `com-datagen` scenario through a live matchd session in
 //! strict lockstep (one outstanding message) and reports throughput and
-//! request round-trip latency (p50/p95/p99).
+//! request round-trip latency (p50/p95/p99). Before shutdown it asks the
+//! server for `stats_deep` and prints the serving phase table
+//! (decode/ingest/decision/encode/flush latencies, queue high-water,
+//! busy-drops); the same table lands in the `--json` report as
+//! `server_phases`.
 //!
 //! * `--quick` — a small synthetic scenario (400 requests, 120 workers)
 //!   regardless of profile; what CI's serve-smoke job runs.
@@ -28,7 +32,7 @@ use com_core::{try_run_online, MatcherRegistry};
 use com_datagen::{
     chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, ScenarioConfig, SyntheticParams,
 };
-use com_serve::{replay, ReplayOptions};
+use com_serve::{replay_scenario, DeepStatsMsg, ReplayOptions};
 
 struct Args {
     addr: String,
@@ -138,6 +142,30 @@ fn us(ns: u64) -> f64 {
     ns as f64 / 1e3
 }
 
+/// The live server-side latency breakdown from `stats_deep`: where each
+/// microsecond of a request's server time goes.
+fn print_phase_table(deep: &DeepStatsMsg) {
+    println!(
+        "server phases ({}, queue depth {} / high-water {}, {} dropped):",
+        deep.algorithm, deep.queue_depth, deep.queue_high_water, deep.busy_dropped,
+    );
+    println!(
+        "  {:<18} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "p50 us", "p90 us", "p99 us", "mean us"
+    );
+    for p in &deep.phases {
+        println!(
+            "  {:<18} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            p.phase,
+            p.count,
+            us(p.p50_ns),
+            us(p.p90_ns),
+            us(p.p99_ns),
+            p.mean_ns / 1e3,
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     let scenario = load_scenario(&args);
@@ -157,7 +185,7 @@ fn main() {
         seed: args.seed,
         rate_hz: args.rate_hz,
     };
-    let report = replay(&args.addr, &instance, &options).unwrap_or_else(|e| {
+    let report = replay_scenario(&args.addr, &instance, &options).unwrap_or_else(|e| {
         eprintln!("matchload: replay failed: {e}");
         std::process::exit(1)
     });
@@ -193,6 +221,9 @@ fn main() {
     for finding in &report.bye.audit_findings {
         eprintln!("  audit: {finding}");
     }
+    if let Some(deep) = &report.deep_stats {
+        print_phase_table(deep);
+    }
 
     if let Some(path) = &args.json_out {
         let cores = std::thread::available_parallelism()
@@ -216,6 +247,14 @@ fn main() {
             }),
             "busy": report.busy,
             "audit_findings": report.bye.audit_findings.len(),
+            "busy_dropped": report.deep_stats.as_ref().map(|d| d.busy_dropped).unwrap_or(report.busy),
+            "refused": report.refused,
+            "queue_high_water": report.deep_stats.as_ref().map(|d| d.queue_high_water).unwrap_or(0),
+            "server_phases": report
+                .deep_stats
+                .as_ref()
+                .map(|d| serde_json::to_value(&d.phases).expect("serialise phases"))
+                .unwrap_or_else(|| serde_json::Value::array(Vec::new())),
             "host_cores": cores,
             "note": "single connection, synchronous request-response over loopback; \
                      latency includes both protocol ends plus the decision itself; \

@@ -1,0 +1,279 @@
+//! `matchreplay` — deterministic re-execution of recorded session traces.
+//!
+//! ```text
+//! # replay (the default): re-run traces and compare decisions
+//! cargo run -p com-serve --release --bin matchreplay -- \
+//!     [--strict] [--rate HZ] [--json FILE] TRACE.jsonl...
+//!
+//! # record: write a trace by playing a scenario locally (no server)
+//! cargo run -p com-serve --release --bin matchreplay -- \
+//!     --record TRACE.jsonl --matcher SPEC [--seed N] \
+//!     [--quick | --profile NAME | --config FILE]
+//! ```
+//!
+//! Replay drives each trace's events straight through a `ServeSession` —
+//! no sockets, no protocol framing — so it is the fastest way to push a
+//! recorded workload through the engine, and every decision is
+//! byte-compared against the recording (canonical projection, wall-clock
+//! excluded):
+//!
+//! * default (lenient): divergences are *reported*, first mismatching
+//!   event index and both decisions side by side, and the exit code stays
+//!   0 — the diagnosis mode.
+//! * `--strict`: any divergence, digest mismatch, or `validate_run`
+//!   finding exits 1 — the CI mode, run over the committed `traces/`
+//!   corpus on every push.
+//!
+//! `--rate HZ` paces replay to a target event rate (default 0 = as fast
+//! as the engine decides). `--json FILE` writes a `BENCH_replay.json`
+//! throughput report over all replayed traces.
+
+use std::path::{Path, PathBuf};
+
+use com_datagen::{
+    chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, ScenarioConfig, SyntheticParams,
+};
+use com_serve::{record_session, replay_trace, TraceReplayOptions, TraceReplayReport};
+
+struct Args {
+    traces: Vec<PathBuf>,
+    strict: bool,
+    rate_hz: f64,
+    json_out: Option<String>,
+    record: Option<PathBuf>,
+    matcher: String,
+    seed: u64,
+    profile: String,
+    config: Option<String>,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: matchreplay [--strict] [--rate HZ] [--json FILE] TRACE.jsonl...\n\
+         \x20      matchreplay --record TRACE.jsonl --matcher SPEC [--seed N] \
+         [--quick | --profile NAME | --config FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        traces: Vec::new(),
+        strict: false,
+        rate_hz: 0.0,
+        json_out: None,
+        record: None,
+        matcher: "demcom".into(),
+        seed: 42,
+        profile: "synthetic".into(),
+        config: None,
+        quick: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut next = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--strict" => args.strict = true,
+            "--rate" => {
+                args.rate_hz = next("--rate").parse().unwrap_or_else(|_| {
+                    eprintln!("--rate must be a number (events/s, 0 = full speed)");
+                    usage()
+                })
+            }
+            "--json" => args.json_out = Some(next("--json")),
+            "--record" => args.record = Some(next("--record").into()),
+            "--matcher" => args.matcher = next("--matcher"),
+            "--seed" => {
+                args.seed = next("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be an integer");
+                    usage()
+                })
+            }
+            "--profile" => args.profile = next("--profile"),
+            "--config" => args.config = Some(next("--config")),
+            "--quick" => args.quick = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+            trace => args.traces.push(trace.into()),
+        }
+    }
+    if args.record.is_none() && args.traces.is_empty() {
+        eprintln!("nothing to do: give trace files to replay, or --record");
+        usage()
+    }
+    if args.record.is_some() && !args.traces.is_empty() {
+        eprintln!("--record and trace replay are mutually exclusive");
+        usage()
+    }
+    args
+}
+
+fn load_scenario(args: &Args) -> ScenarioConfig {
+    if args.quick {
+        return synthetic(SyntheticParams {
+            n_requests: 400,
+            n_workers: 120,
+            ..SyntheticParams::default()
+        });
+    }
+    if let Some(path) = &args.config {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        return serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2)
+        });
+    }
+    match args.profile.as_str() {
+        "chengdu-oct" => chengdu_oct(),
+        "chengdu-nov" => chengdu_nov(),
+        "xian-nov" => xian_nov(),
+        "synthetic" => synthetic(SyntheticParams::default()),
+        other => {
+            eprintln!("unknown profile {other}");
+            usage()
+        }
+    }
+}
+
+fn record(args: &Args, path: &Path) {
+    let scenario = load_scenario(args);
+    let instance = generate(&scenario);
+    let finished = record_session(path, &instance, &args.matcher, args.seed).unwrap_or_else(|e| {
+        eprintln!("matchreplay: recording failed: {e}");
+        std::process::exit(1)
+    });
+    println!(
+        "recorded {}: {} events -> {} ({} findings)",
+        path.display(),
+        instance.stream.len(),
+        finished.run.algorithm,
+        finished.findings.len(),
+    );
+    if !finished.findings.is_empty() {
+        for finding in &finished.findings {
+            eprintln!("  audit: {finding}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn report_one(report: &TraceReplayReport, strict: bool) -> bool {
+    let verdict = if report.is_clean() {
+        "identical"
+    } else {
+        "DIVERGED"
+    };
+    println!(
+        "{}: {} [{} seed {}] {} events, {} decisions in {:.3}s — {:.0} events/s — {}",
+        report.path,
+        report.algorithm,
+        report.matcher,
+        report.seed,
+        report.events,
+        report.decisions,
+        report.wall_secs,
+        report.events_per_sec(),
+        verdict,
+    );
+    for finding in &report.audit_findings {
+        eprintln!("  audit: {finding}");
+    }
+    if let Some(first) = report.first_divergence() {
+        eprintln!("  first divergence: {first}");
+        for d in report.divergences.iter().skip(1) {
+            eprintln!("  then: {d}");
+        }
+    }
+    let failed = !report.is_clean();
+    if failed && strict {
+        eprintln!("  strict: replay must be byte-identical with a silent auditor");
+    }
+    failed
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = args.record.clone() {
+        record(&args, &path);
+        return;
+    }
+
+    let options = TraceReplayOptions {
+        rate_hz: args.rate_hz,
+    };
+    let mut reports = Vec::new();
+    let mut any_failed = false;
+    for path in &args.traces {
+        match replay_trace(path, &options) {
+            Ok(report) => {
+                any_failed |= report_one(&report, args.strict);
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("matchreplay: {e}");
+                any_failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &args.json_out {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let total_events: u64 = reports.iter().map(|r| r.events).sum();
+        let total_secs: f64 = reports.iter().map(|r| r.wall_secs).sum();
+        let rows: Vec<serde_json::Value> = reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "trace": r.path.clone(),
+                    "matcher": r.matcher.clone(),
+                    "seed": r.seed,
+                    "events": r.events,
+                    "decisions": r.decisions,
+                    "wall_secs": r.wall_secs,
+                    "events_per_sec": r.events_per_sec(),
+                    "divergences": r.divergences.len(),
+                    "audit_findings": r.audit_findings.len(),
+                })
+            })
+            .collect();
+        let json = serde_json::json!({
+            "traces": serde_json::Value::array(rows),
+            "total_events": total_events,
+            "total_wall_secs": total_secs,
+            "events_per_sec": if total_secs > 0.0 { total_events as f64 / total_secs } else { 0.0 },
+            "rate_hz": args.rate_hz,
+            "host_cores": cores,
+            "note": "single-threaded replay of pre-parsed traces straight through \
+                     MatchSession — no sockets, no protocol framing, trace parsing \
+                     outside the timed region; this is engine decision throughput, \
+                     an upper bound no served configuration reaches",
+        });
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serialise report"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        println!("report written to {path}");
+    }
+
+    if any_failed && args.strict {
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,7 @@
 //! Client side: a line-oriented protocol client plus the scenario replay
 //! loop `matchload` and the loopback tests drive.
 //!
-//! [`replay`] streams an [`Instance`]'s arrival events through a live
+//! [`replay_scenario`] streams an [`Instance`]'s arrival events through a live
 //! `matchd` session in strict request-response lockstep (one outstanding
 //! message), measuring the round-trip latency of every `request` event.
 //! Lockstep means the server's ingress queue can never overflow from this
@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 use com_obs::Histogram;
 use com_sim::{ArrivalEvent, Instance};
 
-use crate::protocol::{decode_server, encode, ByeMsg, ClientMsg, Hello, ServerMsg, WorkerMsg};
+use crate::protocol::{
+    decode_server, encode, ByeMsg, ClientMsg, DeepStatsMsg, Hello, ServerMsg, WorkerMsg,
+};
 
 /// A connected protocol client.
 pub struct Client {
@@ -119,6 +121,10 @@ pub struct ReplayReport {
     pub wall_secs: f64,
     /// Round-trip latency of `request` events, nanoseconds.
     pub request_rtt_ns: Histogram,
+    /// The server's deep telemetry snapshot (`stats_deep`), fetched just
+    /// before shutdown. `None` when the server predates the message or
+    /// runs with telemetry disabled.
+    pub deep_stats: Option<DeepStatsMsg>,
     /// The server's final session report.
     pub bye: ByeMsg,
 }
@@ -137,7 +143,7 @@ impl ReplayReport {
 /// report. The served outcome is exactly a batch `try_run_online` over
 /// the same instance and seed; compare `report.bye.canonical` against
 /// `com_bench::runner::canonical_run_json` to verify.
-pub fn replay(
+pub fn replay_scenario(
     addr: &str,
     instance: &Instance,
     options: &ReplayOptions,
@@ -221,6 +227,16 @@ pub fn replay(
         }
     }
 
+    // Deep telemetry snapshot while the session is still live: the phase
+    // table covers exactly the events streamed above. Unknown-message
+    // errors (older server) degrade to `None`.
+    let (response, b) = client.rpc(&ClientMsg::stats_deep)?;
+    busy += b;
+    let deep_stats = match response {
+        ServerMsg::stats_deep(deep) => Some(*deep),
+        _ => None,
+    };
+
     let (response, b) = client.rpc(&ClientMsg::shutdown)?;
     busy += b;
     let wall_secs = started.elapsed().as_secs_f64();
@@ -237,6 +253,7 @@ pub fn replay(
         busy,
         wall_secs,
         request_rtt_ns,
+        deep_stats,
         bye,
     })
 }

@@ -15,19 +15,30 @@
 //!   with `busy` backpressure, graceful drain-and-audit teardown.
 //! * [`client`] — the protocol client and the lockstep scenario [`replay`]
 //!   loop behind the `matchload` binary.
+//! * [`trace`] — the flight-recorder session trace (schema v1): one JSONL
+//!   file per recorded session, written by `matchd --record`.
+//! * [`replay`] — deterministic trace re-execution behind the
+//!   `matchreplay` binary: drives [`ServeSession`] directly (no protocol
+//!   overhead) and byte-compares every decision against the recording.
 //!
 //! Everything is `std`-only: threads, `TcpListener`/`TcpStream`, and
 //! `sync_channel` — no new dependencies.
 
 pub mod client;
 pub mod protocol;
+pub mod replay;
 pub mod server;
 pub mod session;
+pub mod trace;
 
-pub use client::{replay, Client, ReplayOptions, ReplayReport};
+pub use client::{replay_scenario, Client, ReplayOptions, ReplayReport};
 pub use protocol::{
-    decode_client, decode_server, encode, ByeMsg, ClientMsg, DecodeError, ErrorMsg, Hello,
-    ServerMsg, StatsMsg, WorkerMsg,
+    decode_client, decode_server, encode, ByeMsg, ClientMsg, CounterRow, DecodeError, DeepStatsMsg,
+    ErrorMsg, GaugeRow, Hello, PhaseRow, ServerMsg, StatsMsg, WorkerMsg,
 };
-pub use server::{serve, ServerConfig, ServerCounters, ServerHandle};
+pub use replay::{
+    read_trace, record_session, replay_trace, Divergence, TraceReplayOptions, TraceReplayReport,
+};
+pub use server::{serve, QueueStats, ServerConfig, ServerCounters, ServerHandle};
 pub use session::{FinishedSession, ServeSession};
+pub use trace::{TraceLine, TraceRecorder, TRACE_VERSION};

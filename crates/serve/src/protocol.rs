@@ -12,6 +12,7 @@
 //! | `{"request": {...}}`                  | `{"assign"|"reject"|"timeout": ...}`    |
 //! | `{"tick": {"to": secs}}`              | `"ok"` or `{"error": ...}`              |
 //! | `"stats"`                             | `{"stats": {...}}`                      |
+//! | `"stats_deep"`                        | `{"stats_deep": {...}}`                 |
 //! | `"shutdown"`                          | `{"bye": {...}}`, then close            |
 //!
 //! In addition the server may emit `"busy"` *out of band* whenever its
@@ -68,8 +69,13 @@ pub enum ClientMsg {
     hello(Hello),
     worker(WorkerMsg),
     request(RequestSpec),
-    tick { to: f64 },
+    tick {
+        to: f64,
+    },
     stats,
+    /// Deep telemetry: the [`StatsMsg`] counters plus the session's full
+    /// `RunTelemetry` phase table and serving-path counters/gauges.
+    stats_deep,
     shutdown,
 }
 
@@ -95,6 +101,103 @@ pub struct StatsMsg {
     pub dropped: u64,
     /// Current simulation time, seconds.
     pub now_secs: f64,
+}
+
+/// One row of the deep-stats latency table: the summary of one
+/// instrumented phase, all durations in nanoseconds. Serving-path phases
+/// are `decode`/`ingest`/`encode`/`flush`; the engine's own
+/// `decision`/`candidate-search`/`pricing`/`offer` phases appear in the
+/// same table because the matcher runs inside `ingest`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRow {
+    pub phase: String,
+    pub count: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    /// Saturated to `u64::MAX` (JSON has no u128); that is ~584 years of
+    /// busy time, so saturation is theoretical.
+    pub total_ns: u64,
+}
+
+impl From<&com_obs::PhaseStats> for PhaseRow {
+    fn from(p: &com_obs::PhaseStats) -> Self {
+        PhaseRow {
+            phase: p.phase.clone(),
+            count: p.count,
+            mean_ns: p.mean_ns,
+            p50_ns: p.p50_ns,
+            p90_ns: p.p90_ns,
+            p99_ns: p.p99_ns,
+            max_ns: p.max_ns,
+            total_ns: u64::try_from(p.total_ns).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+/// A named monotonic counter from the telemetry snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterRow {
+    pub name: String,
+    pub value: u64,
+}
+
+/// A named gauge: last set value and run high-water mark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaugeRow {
+    pub name: String,
+    pub last: f64,
+    pub max: f64,
+}
+
+/// Deep telemetry snapshot (`stats_deep` response): the plain [`StatsMsg`]
+/// counters plus the live session's full phase/counter/gauge tables and
+/// the ingress-queue health of this connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeepStatsMsg {
+    pub stats: StatsMsg,
+    pub algorithm: String,
+    pub phases: Vec<PhaseRow>,
+    pub counters: Vec<CounterRow>,
+    pub gauges: Vec<GaugeRow>,
+    /// Lines sitting in this connection's ingress queue right now.
+    pub queue_depth: u64,
+    /// Deepest the ingress queue has been over the connection's life.
+    pub queue_high_water: u64,
+    /// Lines this server dropped with `busy` (server-wide, same counter
+    /// as `stats.dropped`).
+    pub busy_dropped: u64,
+}
+
+impl DeepStatsMsg {
+    /// Fill the telemetry tables from a collector snapshot.
+    pub fn set_telemetry(&mut self, t: &com_obs::RunTelemetry) {
+        self.algorithm = t.algorithm.clone();
+        self.phases = t.phases.iter().map(PhaseRow::from).collect();
+        self.counters = t
+            .counters
+            .iter()
+            .map(|c| CounterRow {
+                name: c.name.clone(),
+                value: c.value,
+            })
+            .collect();
+        self.gauges = t
+            .gauges
+            .iter()
+            .map(|g| GaugeRow {
+                name: g.name.clone(),
+                last: g.last,
+                max: g.max,
+            })
+            .collect();
+    }
+
+    pub fn phase(&self, name: &str) -> Option<&PhaseRow> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
 }
 
 /// Final session report (`bye` response): the run summary, every audit
@@ -136,6 +239,9 @@ pub enum ServerMsg {
     busy,
     error(ErrorMsg),
     stats(StatsMsg),
+    /// Boxed: the phase tables make this variant much larger than the
+    /// rest of the enum.
+    stats_deep(Box<DeepStatsMsg>),
     bye(ByeMsg),
 }
 
@@ -248,5 +354,57 @@ mod tests {
         assert_eq!(h.matcher, "demcom");
         assert_eq!(h.world, WorldConfig::city(10.0));
         assert_eq!(h.max_value, Some(30.0));
+    }
+
+    #[test]
+    fn deep_stats_round_trips_with_telemetry_tables() {
+        let mut hist = com_obs::Histogram::new();
+        for ns in [800u64, 1_200, 50_000] {
+            hist.record(ns);
+        }
+        let telemetry = com_obs::RunTelemetry {
+            algorithm: "DemCOM".into(),
+            phases: vec![com_obs::PhaseStats::from_histogram("ingest", hist)],
+            counters: vec![com_obs::CounterStat {
+                name: "serve.requests".into(),
+                value: 3,
+            }],
+            gauges: vec![com_obs::GaugeStat {
+                name: "ingress.queue_depth".into(),
+                last: 1.0,
+                max: 7.0,
+            }],
+        };
+        let mut deep = DeepStatsMsg {
+            stats: StatsMsg {
+                events: 5,
+                assigned: 2,
+                rejected: 1,
+                refused: 0,
+                dropped: 0,
+                now_secs: 9.5,
+            },
+            algorithm: String::new(),
+            phases: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            queue_depth: 1,
+            queue_high_water: 7,
+            busy_dropped: 0,
+        };
+        deep.set_telemetry(&telemetry);
+        assert_eq!(deep.algorithm, "DemCOM");
+        let line = encode(&ServerMsg::stats_deep(Box::new(deep)));
+        let back = decode_server(&line).unwrap();
+        let ServerMsg::stats_deep(d) = back else {
+            panic!("wrong variant: {line}");
+        };
+        let ingest = d.phase("ingest").expect("ingest row");
+        assert_eq!(ingest.count, 3);
+        assert_eq!(ingest.max_ns, 50_000);
+        assert_eq!(d.counters[0].value, 3);
+        assert_eq!(d.gauges[0].max, 7.0);
+        assert_eq!(d.queue_high_water, 7);
+        assert_eq!(encode(&ClientMsg::stats_deep), "\"stats_deep\"");
     }
 }

@@ -17,6 +17,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -25,6 +26,7 @@ use std::time::Duration;
 
 use crate::protocol::{decode_client, encode, ClientMsg, DecodeError, ErrorMsg, ServerMsg};
 use crate::session::ServeSession;
+use crate::trace::{sanitize_spec, TraceRecorder};
 
 /// How long blocking points (socket reads, queue receives) wait before
 /// re-checking the stop flag. Bounds shutdown latency.
@@ -44,6 +46,13 @@ pub struct ServerConfig {
     pub once: bool,
     /// Print a per-session ingest-latency summary to stderr at teardown.
     pub print_stats: bool,
+    /// Flight recorder: write one session trace per connection into this
+    /// directory (`matchd --record`). `None` = no recording.
+    pub record_dir: Option<PathBuf>,
+    /// Install a per-session telemetry collector so `stats_deep` can
+    /// report the phase table. On by default; the collector is
+    /// thread-local and off the hot path when a session never asks.
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -53,7 +62,45 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             once: false,
             print_stats: false,
+            record_dir: None,
+            telemetry: true,
         }
+    }
+}
+
+/// Per-connection ingress-queue health, shared between the reader thread
+/// (increments on enqueue) and the session thread (decrements on drain).
+/// `sync_channel` exposes no length, so the queue keeps its own.
+#[derive(Debug, Default)]
+pub struct QueueStats {
+    depth: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl QueueStats {
+    /// Lines queued right now.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    fn on_enqueue(&self) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn on_drain(&self) -> u64 {
+        // Saturating: EOF markers are not counted on enqueue.
+        self.depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            })
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 }
 
@@ -165,12 +212,13 @@ fn accept_loop(
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed);
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
                 let conf = config.clone();
-                let handle =
-                    std::thread::spawn(move || handle_connection(stream, conf, stop, counters));
+                let handle = std::thread::spawn(move || {
+                    handle_connection(stream, conf, conn_id, stop, counters)
+                });
                 if config.once {
                     let _ = handle.join();
                     break;
@@ -204,15 +252,17 @@ pub struct IngressQueue {
     tx: SyncSender<Ingress>,
     writer: SharedWriter,
     counters: Arc<ServerCounters>,
+    stats: Arc<QueueStats>,
 }
 
 impl IngressQueue {
     /// Build a queue of `capacity` lines. Returns the push side and the
-    /// receive side.
+    /// receive side; `stats` tracks live depth and its high-water mark.
     pub(crate) fn new(
         capacity: usize,
         writer: SharedWriter,
         counters: Arc<ServerCounters>,
+        stats: Arc<QueueStats>,
     ) -> (Self, Receiver<Ingress>) {
         let (tx, rx) = mpsc::sync_channel(capacity.max(1));
         (
@@ -220,6 +270,7 @@ impl IngressQueue {
                 tx,
                 writer,
                 counters,
+                stats,
             },
             rx,
         )
@@ -230,7 +281,10 @@ impl IngressQueue {
     /// client. Returns `false` when the session side is gone.
     pub(crate) fn push_line(&self, line: String) -> bool {
         match self.tx.try_send(Ingress::Line(line)) {
-            Ok(()) => true,
+            Ok(()) => {
+                self.stats.on_enqueue();
+                true
+            }
             Err(TrySendError::Full(_)) => {
                 self.counters.dropped.fetch_add(1, Ordering::Relaxed);
                 self.writer.send(&ServerMsg::busy);
@@ -268,12 +322,19 @@ impl SharedWriter {
     }
 
     /// Write one message line. Errors are deliberately swallowed: a
-    /// vanished peer must not abort the draining session.
+    /// vanished peer must not abort the draining session. The `encode`
+    /// and `flush` spans land in whichever thread calls this — the
+    /// session thread's collector for responses; a no-op for the reader
+    /// thread's out-of-band `busy`.
     fn send(&self, msg: &ServerMsg) {
+        let mut line = {
+            let _span = com_obs::span(com_obs::PHASE_SERVE_ENCODE);
+            encode(msg)
+        };
+        line.push('\n');
         let mut guard = self.inner.lock().expect("writer lock");
         if let Some(stream) = guard.as_mut() {
-            let mut line = encode(msg);
-            line.push('\n');
+            let _span = com_obs::span(com_obs::PHASE_SERVE_FLUSH);
             let _ = stream.write_all(line.as_bytes());
         }
     }
@@ -282,13 +343,19 @@ impl SharedWriter {
 fn handle_connection(
     stream: TcpStream,
     config: ServerConfig,
+    conn_id: u64,
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let writer = SharedWriter::new(stream.try_clone().ok());
-    let (queue, rx) =
-        IngressQueue::new(config.queue_capacity, writer.clone(), Arc::clone(&counters));
+    let queue_stats = Arc::new(QueueStats::default());
+    let (queue, rx) = IngressQueue::new(
+        config.queue_capacity,
+        writer.clone(),
+        Arc::clone(&counters),
+        Arc::clone(&queue_stats),
+    );
 
     // `done` lets the session thread stop the reader when the protocol
     // ends the session while the socket is still open.
@@ -299,7 +366,16 @@ fn handle_connection(
         std::thread::spawn(move || reader_loop(stream, queue, stop, done))
     };
 
-    session_loop(rx, writer, &config, &stop, &counters);
+    // The collector is thread-local; this thread runs the session, so
+    // serving spans and the engine's own decision spans accumulate into
+    // one per-connection phase table.
+    if config.telemetry {
+        com_obs::install();
+    }
+    session_loop(rx, writer, &config, conn_id, &queue_stats, &stop, &counters);
+    if config.telemetry {
+        com_obs::uninstall();
+    }
     done.store(true, Ordering::SeqCst);
     let _ = reader.join();
 }
@@ -348,6 +424,8 @@ fn session_loop(
     rx: Receiver<Ingress>,
     writer: SharedWriter,
     config: &ServerConfig,
+    conn_id: u64,
+    queue_stats: &Arc<QueueStats>,
     stop: &AtomicBool,
     counters: &Arc<ServerCounters>,
 ) {
@@ -359,7 +437,18 @@ fn session_loop(
         }
         match rx.recv_timeout(POLL_INTERVAL) {
             Ok(Ingress::Line(text)) => {
-                let ended = handle_line(&text, &mut session, &writer, counters, &mut said_bye);
+                let depth = queue_stats.on_drain();
+                com_obs::gauge_set("ingress.queue_depth", depth as f64);
+                let ended = handle_line(
+                    &text,
+                    &mut session,
+                    &writer,
+                    config,
+                    conn_id,
+                    queue_stats,
+                    counters,
+                    &mut said_bye,
+                );
                 if ended {
                     break;
                 }
@@ -400,14 +489,22 @@ fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
 
 /// Process one decoded line; returns `true` when the protocol ended the
 /// session (`shutdown`).
+#[allow(clippy::too_many_arguments)]
 fn handle_line(
     text: &str,
     session: &mut Option<ServeSession>,
     writer: &SharedWriter,
+    config: &ServerConfig,
+    conn_id: u64,
+    queue_stats: &Arc<QueueStats>,
     counters: &Arc<ServerCounters>,
     said_bye: &mut bool,
 ) -> bool {
-    let msg = match decode_client(text) {
+    let decoded = {
+        let _span = com_obs::span(com_obs::PHASE_SERVE_DECODE);
+        decode_client(text)
+    };
+    let msg = match decoded {
         Ok(msg) => msg,
         Err(DecodeError::BadJson(detail)) => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -428,7 +525,10 @@ fn handle_line(
                 return false;
             }
             match ServeSession::open(&hello) {
-                Ok(s) => {
+                Ok(mut s) => {
+                    if let Some(dir) = &config.record_dir {
+                        attach_recorder(&mut s, dir, conn_id, &hello);
+                    }
                     writer.send(&ServerMsg::welcome {
                         algorithm: s.algorithm(),
                     });
@@ -469,6 +569,15 @@ fn handle_line(
             });
             false
         }
+        ClientMsg::stats_deep => {
+            let dropped = counters.dropped();
+            let depth = queue_stats.depth();
+            let high_water = queue_stats.high_water();
+            with_session(session, writer, counters, |s| {
+                ServerMsg::stats_deep(Box::new(s.deep_stats(dropped, depth, high_water)))
+            });
+            false
+        }
         ClientMsg::shutdown => {
             if let Some(live) = session.take() {
                 let finished = live.finish();
@@ -482,6 +591,29 @@ fn handle_line(
                 false
             }
         }
+    }
+}
+
+/// Open the flight recorder for a fresh session. Recording failures are
+/// never fatal to serving: log once and carry on unrecorded.
+fn attach_recorder(
+    session: &mut ServeSession,
+    dir: &std::path::Path,
+    conn_id: u64,
+    hello: &crate::protocol::Hello,
+) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("matchd: cannot create record dir {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!(
+        "session-{conn_id}-{}-{}.jsonl",
+        sanitize_spec(&hello.matcher),
+        hello.seed
+    ));
+    match TraceRecorder::create(&path) {
+        Ok(recorder) => session.attach_recorder(recorder, hello, "matchd"),
+        Err(e) => eprintln!("matchd: cannot record to {}: {e}", path.display()),
     }
 }
 
@@ -516,13 +648,22 @@ mod tests {
     #[test]
     fn full_ingress_queue_drops_and_counts() {
         let counters = Arc::new(ServerCounters::default());
-        let (queue, rx) = IngressQueue::new(2, SharedWriter::detached(), Arc::clone(&counters));
+        let stats = Arc::new(QueueStats::default());
+        let (queue, rx) = IngressQueue::new(
+            2,
+            SharedWriter::detached(),
+            Arc::clone(&counters),
+            Arc::clone(&stats),
+        );
         assert!(queue.push_line("a".into()));
         assert!(queue.push_line("b".into()));
         // Queue full: the next two lines are dropped, not queued.
         assert!(queue.push_line("c".into()));
         assert!(queue.push_line("d".into()));
         assert_eq!(counters.dropped(), 2);
+        // Depth tracks only queued lines; drops never inflate it.
+        assert_eq!(stats.depth(), 2);
+        assert_eq!(stats.high_water(), 2);
         // Only the first two lines ever reach the session side.
         let mut received = Vec::new();
         while let Ok(Ingress::Line(l)) = rx.try_recv() {
@@ -534,9 +675,30 @@ mod tests {
     #[test]
     fn push_after_receiver_drop_reports_disconnect() {
         let counters = Arc::new(ServerCounters::default());
-        let (queue, rx) = IngressQueue::new(2, SharedWriter::detached(), Arc::clone(&counters));
+        let (queue, rx) = IngressQueue::new(
+            2,
+            SharedWriter::detached(),
+            Arc::clone(&counters),
+            Arc::new(QueueStats::default()),
+        );
         drop(rx);
         assert!(!queue.push_line("a".into()));
         assert_eq!(counters.dropped(), 0);
+    }
+
+    #[test]
+    fn queue_stats_high_water_survives_draining() {
+        let stats = QueueStats::default();
+        for _ in 0..5 {
+            stats.on_enqueue();
+        }
+        assert_eq!(stats.high_water(), 5);
+        for expected in (0..5).rev() {
+            assert_eq!(stats.on_drain(), expected);
+        }
+        assert_eq!(stats.depth(), 0);
+        assert_eq!(stats.high_water(), 5);
+        // Draining an EOF-only queue never underflows.
+        assert_eq!(stats.on_drain(), 0);
     }
 }

@@ -4,8 +4,10 @@
 //! Wraps the core session with what serving adds on top: the accumulated
 //! event log (so the finished run can be audited against a reconstructed
 //! [`Instance`]), per-worker histories fed over the wire, response
-//! classification (assign / reject / timeout), and an ingest-latency
-//! histogram.
+//! classification (assign / reject / timeout), an ingest-latency
+//! histogram, and — when a [`TraceRecorder`] is attached — the flight
+//! recorder: every accepted event and every decision streamed to a
+//! session trace (see [`crate::trace`]).
 
 use std::collections::HashMap;
 
@@ -17,7 +19,11 @@ use com_pricing::WorkerHistory;
 use com_sim::{ArrivalEvent, ConstraintViolation, EventStream, Instance, RequestSpec, Timestamp};
 use com_stream::WorkerId;
 
-use crate::protocol::{ByeMsg, Hello, ServerMsg, StatsMsg, WorkerMsg};
+use crate::protocol::{ByeMsg, DeepStatsMsg, Hello, ServerMsg, StatsMsg, WorkerMsg};
+use crate::trace::{
+    decision_from_response, TraceEvent, TraceFinish, TraceLine, TraceMeta, TraceRecorder,
+    TraceTick, TRACE_VERSION,
+};
 
 /// One live matching session and everything needed to audit it at the
 /// end.
@@ -33,6 +39,7 @@ pub struct ServeSession {
     assigned: u64,
     rejected: u64,
     refused: u64,
+    recorder: Option<TraceRecorder>,
 }
 
 /// Everything a finished session reports: the run, the audit verdict,
@@ -42,6 +49,8 @@ pub struct FinishedSession {
     pub findings: Vec<String>,
     pub instance: Instance,
     pub ingest_ns: Histogram,
+    /// Where the session trace landed, when one was recorded and survived.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl ServeSession {
@@ -69,12 +78,44 @@ impl ServeSession {
             assigned: 0,
             rejected: 0,
             refused: 0,
+            recorder: None,
         })
+    }
+
+    /// Attach a flight recorder and write the trace's meta line. `source`
+    /// names the recording program (`"matchd"` / `"matchreplay"`).
+    pub fn attach_recorder(&mut self, mut recorder: TraceRecorder, hello: &Hello, source: &str) {
+        recorder.write(&TraceLine::Meta(TraceMeta {
+            v: TRACE_VERSION,
+            source: source.to_string(),
+            matcher: hello.matcher.clone(),
+            algorithm: self.algorithm(),
+            seed: hello.seed,
+            max_value: hello.max_value,
+            platforms: hello.platforms.clone(),
+            world: hello.world.clone(),
+        }));
+        self.recorder = Some(recorder);
     }
 
     /// The matcher's display name (for `welcome`).
     pub fn algorithm(&self) -> String {
         self.core.algorithm().to_string()
+    }
+
+    /// Record one accepted event line. Must run *after* a successful
+    /// ingest so refused events never reach the trace.
+    fn record_event(&mut self, event: &ArrivalEvent, history: Option<&WorkerHistory>) {
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let line = TraceLine::Event(TraceEvent {
+            i: self.events.len() as u64,
+            at_ns: rec.at_ns(),
+            event: *event,
+            history: history.cloned(),
+        });
+        rec.write(&line);
     }
 
     /// Ingest a worker arrival. No output on success.
@@ -85,8 +126,12 @@ impl ServeSession {
         }
         let event = ArrivalEvent::Worker(msg.spec);
         let started = std::time::Instant::now();
-        self.core.ingest(&event)?;
+        {
+            let _span = com_obs::span(com_obs::PHASE_SERVE_INGEST);
+            self.core.ingest(&event)?;
+        }
         self.ingest_ns.record(started.elapsed().as_nanos() as u64);
+        self.record_event(&event, msg.history.as_ref());
         self.events.push(event);
         Ok(())
     }
@@ -95,8 +140,13 @@ impl ServeSession {
     pub fn request(&mut self, spec: &RequestSpec) -> Result<ServerMsg, ConstraintViolation> {
         let event = ArrivalEvent::Request(*spec);
         let started = std::time::Instant::now();
-        let outputs = self.core.ingest(&event)?;
+        let outputs = {
+            let _span = com_obs::span(com_obs::PHASE_SERVE_INGEST);
+            self.core.ingest(&event)?
+        };
         self.ingest_ns.record(started.elapsed().as_nanos() as u64);
+        let event_index = self.events.len() as u64;
+        self.record_event(&event, None);
         self.events.push(event);
         let Some(output) = outputs.into_iter().next() else {
             // A request event always yields exactly one decision; guard
@@ -106,7 +156,7 @@ impl ServeSession {
                 detail: "request produced no decision".into(),
             }));
         };
-        Ok(match output {
+        let response = match output {
             SessionOutput::Decided(a) if a.is_completed() => {
                 self.assigned += 1;
                 ServerMsg::assign(a)
@@ -125,12 +175,26 @@ impl ServeSession {
                     violation: violation.to_string(),
                 }
             }
-        })
+        };
+        if let Some(rec) = self.recorder.as_mut() {
+            if let Some(decision) = decision_from_response(event_index, &response) {
+                rec.write(&TraceLine::Decision(decision));
+            }
+        }
+        Ok(response)
     }
 
     /// Advance the session clock without an event.
     pub fn tick(&mut self, to_secs: f64) -> Result<(), ConstraintViolation> {
-        self.core.drain_timers(Timestamp::from_secs(to_secs))
+        self.core.drain_timers(Timestamp::from_secs(to_secs))?;
+        if let Some(rec) = self.recorder.as_mut() {
+            let line = TraceLine::Tick(TraceTick {
+                at_ns: rec.at_ns(),
+                to_secs,
+            });
+            rec.write(&line);
+        }
+        Ok(())
     }
 
     /// Current counters (`stats` response); `dropped` is supplied by the
@@ -146,10 +210,37 @@ impl ServeSession {
         }
     }
 
+    /// Deep telemetry snapshot (`stats_deep` response). The phase tables
+    /// come from the live collector without draining it ([`com_obs::snapshot_run`]);
+    /// queue figures are supplied by the server, which owns the queues.
+    /// With telemetry off the tables are simply empty.
+    pub fn deep_stats(
+        &self,
+        dropped: u64,
+        queue_depth: u64,
+        queue_high_water: u64,
+    ) -> DeepStatsMsg {
+        let mut deep = DeepStatsMsg {
+            stats: self.stats(dropped),
+            algorithm: self.algorithm(),
+            phases: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            queue_depth,
+            queue_high_water,
+            busy_dropped: dropped,
+        };
+        if let Some(telemetry) = com_obs::snapshot_run() {
+            deep.set_telemetry(&telemetry);
+        }
+        deep
+    }
+
     /// Close the run, rebuild the [`Instance`] the session actually
     /// played (the ingested event log is time-ordered by construction —
     /// out-of-order lines were refused at ingest), and audit it with
-    /// `com_core::validate_run`.
+    /// `com_core::validate_run`. Writes the trace's `finish` line (run
+    /// digest included) when a recorder is attached.
     pub fn finish(self) -> FinishedSession {
         let instance = Instance {
             config: self.world_config,
@@ -162,11 +253,23 @@ impl ServeSession {
             .iter()
             .map(|f| f.to_string())
             .collect();
+        let trace_path = self.recorder.and_then(|mut rec| {
+            rec.write(&TraceLine::Finish(TraceFinish {
+                events: instance.stream.len() as u64,
+                decisions: self.assigned + self.rejected + self.refused,
+                digest: com_bench::runner::canonical_run_digest(&run),
+                revenue: run.total_revenue(),
+                completed: run.completed() as u64,
+                audit_findings: findings.len() as u64,
+            }));
+            rec.finish()
+        });
         FinishedSession {
             run,
             findings,
             instance,
             ingest_ns: self.ingest_ns,
+            trace_path,
         }
     }
 }

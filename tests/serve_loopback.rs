@@ -7,7 +7,7 @@
 use com_bench::runner::canonical_run_json;
 use com_core::{try_run_online, MatcherRegistry};
 use com_datagen::{generate, synthetic, SyntheticParams};
-use com_serve::{replay, serve, ReplayOptions, ServerConfig, ServerMsg};
+use com_serve::{replay_scenario, serve, ReplayOptions, ServerConfig, ServerMsg};
 use com_sim::Instance;
 
 fn quick_instance() -> Instance {
@@ -37,7 +37,7 @@ fn served_run_equals_batch_run_and_audits_clean() {
         seed: 9,
         rate_hz: 0.0,
     };
-    let report = replay(&addr, &instance, &options).expect("loopback replay");
+    let report = replay_scenario(&addr, &instance, &options).expect("loopback replay");
 
     // The auditor is silent and nothing was dropped.
     assert_eq!(report.bye.audit_findings, Vec::<String>::new());
@@ -80,7 +80,7 @@ fn sequential_sessions_on_one_server_are_independent() {
             seed: 4242,
             rate_hz: 0.0,
         };
-        let report = replay(&addr, &instance, &options).expect("loopback replay");
+        let report = replay_scenario(&addr, &instance, &options).expect("loopback replay");
         assert_eq!(report.bye.audit_findings, Vec::<String>::new());
         canonicals.push(canonical_text(&report.bye.canonical));
     }
