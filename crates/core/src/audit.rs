@@ -75,6 +75,11 @@ pub enum AuditFinding {
     /// The one-shot matching cross-check
     /// ([`com_matching::is_valid_matching`]) rejected the run's matching.
     MatchingInvalid { detail: String },
+    /// A serving-layer defect observed by `matchd` (e.g. a poisoned
+    /// writer lock recovered after a connection-thread panic). Never
+    /// produced by `validate_run`; recorded through the global recorder
+    /// so sweeps and tests can surface it.
+    Serving { detail: String },
 }
 
 impl fmt::Display for AuditFinding {
@@ -97,6 +102,7 @@ impl fmt::Display for AuditFinding {
             AuditFinding::MatchingInvalid { detail } => {
                 write!(f, "matching cross-check failed: {detail}")
             }
+            AuditFinding::Serving { detail } => write!(f, "serving: {detail}"),
         }
     }
 }

@@ -20,21 +20,32 @@
 
 use rand::rngs::StdRng;
 
+use com_geo::GridEntry;
 use com_pricing::{bernoulli, MinPaymentEstimator, WorkerHistory};
-use com_sim::{RequestSpec, World};
+use com_sim::{IdleWorker, PlatformId, RequestSpec, World};
 
 use crate::config::DemComConfig;
 use crate::matcher::{Decision, OnlineMatcher, StreamInfo};
 
 /// Deterministic cross online matching (Algorithm 1).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Holds reusable candidate scratch buffers so steady-state decisions do
+/// not allocate for the outer-worker query (the buffers are observer-only
+/// state: decisions are a pure function of `(world, request, rng)`).
+#[derive(Debug, Clone, Default)]
 pub struct DemCom {
     config: DemComConfig,
+    outer: Vec<(PlatformId, IdleWorker)>,
+    grid_buf: Vec<GridEntry>,
 }
 
 impl DemCom {
     pub fn new(config: DemComConfig) -> Self {
-        DemCom { config }
+        DemCom {
+            config,
+            outer: Vec::new(),
+            grid_buf: Vec::new(),
+        }
     }
 
     pub fn config(&self) -> &DemComConfig {
@@ -51,20 +62,27 @@ impl OnlineMatcher for DemCom {
 
     fn decide(&mut self, world: &World, request: &RequestSpec, rng: &mut StdRng) -> Decision {
         // Lines 2–6: inner workers have priority; nearest feasible wins.
-        // Line 8: W_out^r — feasible outer workers, nearest-first.
-        let (inner, outer) = {
+        // Line 8: W_out^r — feasible outer workers, nearest-first, into
+        // the reused scratch buffer.
+        let inner = {
             let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
             let inner = world.nearest_inner_coverer(request.platform, request.location);
-            let outer = if inner.is_none() {
-                world.outer_coverers(request.platform, request.location)
+            if inner.is_none() {
+                world.outer_coverers_into(
+                    request.platform,
+                    request.location,
+                    &mut self.outer,
+                    &mut self.grid_buf,
+                );
             } else {
-                Vec::new()
-            };
-            (inner, outer)
+                self.outer.clear();
+            }
+            inner
         };
         if let Some(w) = inner {
             return Decision::Inner { worker: w.id };
         }
+        let outer = &self.outer;
         if outer.is_empty() {
             // Lines 9–10: nobody to even ask.
             return Decision::Reject {

@@ -17,19 +17,27 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use com_geo::GridEntry;
 use com_pricing::{bernoulli, max_expected_revenue, WorkerHistory};
-use com_sim::{RequestSpec, World};
+use com_sim::{IdleWorker, PlatformId, RequestSpec, World};
 
 use crate::config::RamComConfig;
 use crate::matcher::{Decision, OnlineMatcher, StreamInfo};
 
 /// Randomized cross online matching (Algorithm 3).
-#[derive(Debug, Clone, Copy)]
+///
+/// Holds reusable candidate scratch buffers so steady-state decisions do
+/// not allocate for the inner/outer coverage queries (observer-only
+/// state: decisions are a pure function of `(world, request, rng)`).
+#[derive(Debug, Clone)]
 pub struct RamCom {
     config: RamComConfig,
     /// θ = ⌈ln(max v_r + 1)⌉ for the current run.
     theta: u64,
     threshold: f64,
+    inner: Vec<IdleWorker>,
+    outer: Vec<(PlatformId, IdleWorker)>,
+    grid_buf: Vec<GridEntry>,
 }
 
 impl Default for RamCom {
@@ -44,6 +52,9 @@ impl RamCom {
             config,
             theta: 1,
             threshold: 0.0,
+            inner: Vec::new(),
+            outer: Vec::new(),
+            grid_buf: Vec::new(),
         }
     }
 
@@ -58,11 +69,17 @@ impl RamCom {
 
     /// Lines 10–11: price by maximum expected revenue, then run DemCOM's
     /// offer loop (Algorithm 1, lines 13–26) at that payment.
-    fn try_outer(&self, world: &World, request: &RequestSpec, rng: &mut StdRng) -> Decision {
-        let outer = {
+    fn try_outer(&mut self, world: &World, request: &RequestSpec, rng: &mut StdRng) -> Decision {
+        {
             let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
-            world.outer_coverers(request.platform, request.location)
-        };
+            world.outer_coverers_into(
+                request.platform,
+                request.location,
+                &mut self.outer,
+                &mut self.grid_buf,
+            );
+        }
+        let outer = &self.outer;
         if outer.is_empty() {
             return Decision::Reject {
                 was_cooperative_offer: false,
@@ -119,14 +136,22 @@ impl OnlineMatcher for RamCom {
         }
         if request.value > self.threshold {
             // Lines 4–8: big request — a random feasible inner worker.
-            let inner = {
+            // The scratch list is sorted nearest-first, exactly as the
+            // allocating query was: the RNG picks by *index*, so the
+            // candidate order is part of the deterministic replay contract.
+            {
                 let _span = com_obs::span(com_obs::PHASE_CANDIDATES);
-                world.inner_coverers(request.platform, request.location)
-            };
-            if !inner.is_empty() {
-                let pick = rng.random_range(0..inner.len());
+                world.inner_coverers_into(
+                    request.platform,
+                    request.location,
+                    &mut self.inner,
+                    &mut self.grid_buf,
+                );
+            }
+            if !self.inner.is_empty() {
+                let pick = rng.random_range(0..self.inner.len());
                 return Decision::Inner {
-                    worker: inner[pick].id,
+                    worker: self.inner[pick].id,
                 };
             }
             // No unoccupied inner worker: ask the outer workers

@@ -9,7 +9,7 @@
 //! paper's Table IV), so a cell size near the maximum radius keeps candidate
 //! sets tiny.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::{BoundingBox, Km, Point};
 
@@ -60,10 +60,28 @@ pub struct GridIndex {
     cells: Vec<Vec<GridEntry>>,
     /// id -> cell index; removal scans the (small) cell bucket.
     locations: HashMap<u64, usize>,
-    /// Largest radius ever inserted; determines the query ring for
+    /// Largest radius currently indexed; determines the query ring for
     /// `coverers`.
     max_radius: Km,
+    /// Live items per radius, keyed by `f64::to_bits` (monotone for the
+    /// non-negative radii we store, so the largest key IS the largest
+    /// radius). Lets `max_radius` *shrink* when the last wide-radius item
+    /// leaves, instead of every later query scanning a ring sized for a
+    /// worker who is long gone.
+    radius_counts: BTreeMap<u64, u32>,
     len: usize,
+}
+
+/// Key for `radius_counts`: non-negative finite bits order like the floats
+/// themselves. Negative zero (and any junk that slips through the
+/// debug-only assertions) is normalised so the bit order stays monotone.
+#[inline]
+fn radius_key(radius: Km) -> u64 {
+    if radius > 0.0 {
+        radius.to_bits()
+    } else {
+        0
+    }
 }
 
 impl GridIndex {
@@ -87,6 +105,7 @@ impl GridIndex {
             cells: vec![Vec::new(); cols * rows],
             locations: HashMap::new(),
             max_radius: 0.0,
+            radius_counts: BTreeMap::new(),
             len: 0,
         }
     }
@@ -144,18 +163,45 @@ impl GridIndex {
             radius,
         });
         self.locations.insert(id, cell);
+        *self.radius_counts.entry(radius_key(radius)).or_insert(0) += 1;
         self.max_radius = self.max_radius.max(radius);
         self.len += 1;
     }
 
     /// Remove an item by id. Returns the entry if it was present.
+    ///
+    /// When the departing item carried the largest live radius, the query
+    /// ring bound shrinks back to the largest *remaining* radius, so
+    /// subsequent `coverers`/`nearest_coverer` calls stop scanning cells
+    /// only that item could have reached. The covering candidate set is
+    /// unaffected either way (the bound is an over-approximation); only
+    /// the number of cells scanned changes.
     pub fn remove(&mut self, id: u64) -> Option<GridEntry> {
         let cell = self.locations.remove(&id)?;
         let bucket = &mut self.cells[cell];
         let pos = bucket.iter().position(|e| e.id == id)?;
         let entry = bucket.swap_remove(pos);
+        let key = radius_key(entry.radius);
+        if let Some(count) = self.radius_counts.get_mut(&key) {
+            *count -= 1;
+            if *count == 0 {
+                self.radius_counts.remove(&key);
+            }
+        }
+        self.max_radius = self
+            .radius_counts
+            .last_key_value()
+            .map(|(&bits, _)| f64::from_bits(bits))
+            .unwrap_or(0.0);
         self.len -= 1;
         Some(entry)
+    }
+
+    /// The current query-ring bound: the largest radius among live items
+    /// (0 when empty).
+    #[inline]
+    pub fn max_radius(&self) -> Km {
+        self.max_radius
     }
 
     /// Whether an item with this id is present.
@@ -273,9 +319,11 @@ impl GridIndex {
             c.clear();
         }
         self.locations.clear();
+        self.radius_counts.clear();
+        // With live-radius tracking there is nothing to retain: an empty
+        // index scans exactly one cell per query until items return.
+        self.max_radius = 0.0;
         self.len = 0;
-        // max_radius is deliberately retained: it only affects the query
-        // ring size, and a stale (larger) value keeps queries correct.
     }
 
     /// Approximate heap footprint in bytes (for the memory metric).
@@ -289,6 +337,7 @@ impl GridIndex {
         cells
             + self.cells.capacity() * size_of::<Vec<GridEntry>>()
             + self.locations.capacity() * (size_of::<u64>() + size_of::<usize>() + 16)
+            + self.radius_counts.len() * (size_of::<u64>() + size_of::<u32>() + 16)
     }
 }
 
@@ -389,8 +438,63 @@ mod tests {
         g.insert(1, Point::new(5.0, 5.0), 2.0);
         g.clear();
         assert!(g.is_empty());
+        assert_eq!(g.max_radius(), 0.0);
         g.insert(2, Point::new(5.0, 5.0), 0.5);
         assert_eq!(g.coverers(Point::new(5.2, 5.0)).len(), 1);
+    }
+
+    #[test]
+    fn max_radius_shrinks_when_wide_items_leave() {
+        let mut g = GridIndex::new(BoundingBox::square(10.0), 1.0);
+        g.insert(1, Point::new(5.0, 5.0), 0.5);
+        g.insert(2, Point::new(1.0, 1.0), 4.0);
+        g.insert(3, Point::new(9.0, 9.0), 4.0);
+        assert_eq!(g.max_radius(), 4.0);
+        g.remove(2);
+        assert_eq!(g.max_radius(), 4.0); // one 4.0-radius item still live
+        g.remove(3);
+        assert_eq!(g.max_radius(), 0.5);
+        g.remove(1);
+        assert_eq!(g.max_radius(), 0.0);
+    }
+
+    #[test]
+    fn query_cell_counts_drop_after_wide_worker_leaves() {
+        // The cells-scanned telemetry is the observable for ring size:
+        // with a 4 km radius item live, a coverers query rings 9x9 cells;
+        // once it leaves, the remaining 0.5 km bound rings 3x3. The
+        // collector is thread-local, so parallel tests cannot bleed into
+        // these counters.
+        com_obs::install();
+        com_obs::begin_run("grid-shrink-test");
+        let mut g = GridIndex::new(BoundingBox::square(20.0), 1.0);
+        g.insert(1, Point::new(10.0, 10.0), 0.5);
+        g.insert(2, Point::new(3.0, 3.0), 4.0);
+        let q = Point::new(10.2, 10.0);
+
+        let cells_at = |label: &str| {
+            let t = com_obs::snapshot_run().expect("collector active");
+            t.counter("grid.cells_scanned")
+                .unwrap_or_else(|| panic!("no cells_scanned counter {label}"))
+        };
+        let before_query = com_obs::snapshot_run()
+            .expect("collector active")
+            .counter("grid.cells_scanned")
+            .unwrap_or(0);
+        assert_eq!(g.coverers(q).len(), 1);
+        let wide = cells_at("wide") - before_query;
+
+        g.remove(2);
+        let mid = cells_at("mid");
+        assert_eq!(g.coverers(q).len(), 1);
+        let narrow = cells_at("narrow") - mid;
+
+        assert!(
+            narrow < wide,
+            "ring did not shrink: {narrow} cells vs {wide} before removal"
+        );
+        com_obs::end_run();
+        com_obs::uninstall();
     }
 
     #[test]

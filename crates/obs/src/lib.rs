@@ -56,11 +56,16 @@ pub const PHASE_OFFER: &str = "offer";
 // The matcher's own work appears inside `ingest` as the nested
 // [`PHASE_DECISION`] span.
 
-/// Parsing one wire line into a protocol message.
+/// Parsing one wire line or binary frame into a protocol message.
 pub const PHASE_SERVE_DECODE: &str = "decode";
 /// Feeding one event through the session (world update + decision).
 pub const PHASE_SERVE_INGEST: &str = "ingest";
-/// Serializing one response message to its wire form.
+/// Serializing one response message to its wire form (NDJSON line or
+/// binary frame) into the connection's write buffer.
 pub const PHASE_SERVE_ENCODE: &str = "encode";
-/// Writing the encoded response to the socket.
+/// Writing buffered responses to the socket. Since the batched-flush
+/// rework this span covers a *burst* of responses, not one: the session
+/// loop encodes while ingress is hot and flushes once the queue drains
+/// (or the buffer crosses its threshold), so per-event cost is this
+/// span's total divided by events, not its mean.
 pub const PHASE_SERVE_FLUSH: &str = "flush";

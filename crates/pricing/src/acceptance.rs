@@ -27,6 +27,26 @@ pub trait AcceptanceModel {
     fn breakpoints(&self) -> Vec<Value> {
         Vec::new()
     }
+
+    /// The breakpoints as a *cached, sorted* slice, when the model keeps
+    /// one (empirical models do). `None` tells the pricing maximiser the
+    /// model has no cache, so it must fall back to [`Self::breakpoints`];
+    /// `Some` enables the allocation-free streaming merge.
+    fn breakpoints_sorted(&self) -> Option<&[Value]> {
+        None
+    }
+
+    /// The raw *sorted* empirical history values, when the model is an
+    /// empirical CDF over such values. Combined with
+    /// [`Self::breakpoints_sorted`], this lets the pricing maximiser walk
+    /// the CDF with a monotone cursor instead of binary-searching per
+    /// candidate. Implementations must guarantee
+    /// `acceptance_prob(p) == count(v <= p) / len` over exactly these
+    /// values (empty slice ⇒ the newcomer rule: probability 1 for any
+    /// positive payment).
+    fn empirical_values(&self) -> Option<&[Value]> {
+        None
+    }
 }
 
 /// The paper's empirical model: a thin wrapper over [`WorkerHistory`].
@@ -65,6 +85,14 @@ impl AcceptanceModel for EmpiricalAcceptance {
     fn breakpoints(&self) -> Vec<Value> {
         self.history.breakpoints()
     }
+
+    fn breakpoints_sorted(&self) -> Option<&[Value]> {
+        Some(self.history.breakpoints_sorted())
+    }
+
+    fn empirical_values(&self) -> Option<&[Value]> {
+        Some(self.history.values())
+    }
 }
 
 impl AcceptanceModel for WorkerHistory {
@@ -78,6 +106,14 @@ impl AcceptanceModel for WorkerHistory {
 
     fn breakpoints(&self) -> Vec<Value> {
         WorkerHistory::breakpoints(self)
+    }
+
+    fn breakpoints_sorted(&self) -> Option<&[Value]> {
+        Some(WorkerHistory::breakpoints_sorted(self))
+    }
+
+    fn empirical_values(&self) -> Option<&[Value]> {
+        Some(WorkerHistory::values(self))
     }
 }
 

@@ -77,16 +77,112 @@ pub fn max_expected_revenue<M: AcceptanceModel + ?Sized>(
         return None;
     }
 
-    let mut best: Option<PricingOutcome> = None;
-    let mut evaluated = 0u64;
-    let mut consider = |payment: Value| {
-        evaluated += 1;
-        if payment <= 0.0 || payment > request_value {
-            return;
+    let mut tracker = BestTracker {
+        request_value,
+        best: None,
+        evaluated: 0,
+    };
+
+    match strategy {
+        PriceCandidates::Breakpoints => {
+            match merge_lanes(workers) {
+                Some(mut lanes) => {
+                    // Streaming k-way merge over the cached per-worker
+                    // breakpoint slices (plus a virtual `[v_r]` lane):
+                    // candidates come out ascending and deduplicated
+                    // without building, sorting, or deduplicating a pooled
+                    // Vec, and each worker's CDF is walked with a monotone
+                    // cursor instead of a binary search per candidate.
+                    // Float operations and evaluation order are identical
+                    // to the rebuild path below, so decisions (and the
+                    // serve-vs-batch byte-identity invariant) are
+                    // unchanged.
+                    let mut vr_emitted = false;
+                    loop {
+                        let mut next = if vr_emitted {
+                            None
+                        } else {
+                            Some(request_value)
+                        };
+                        for lane in &lanes {
+                            if let Some(&b) = lane.breaks.get(lane.bpos) {
+                                if b <= request_value && next.is_none_or(|n| b < n) {
+                                    next = Some(b);
+                                }
+                            }
+                        }
+                        let Some(cand) = next else { break };
+                        if cand == request_value {
+                            vr_emitted = true;
+                        }
+                        let mut none_accept = 1.0f64;
+                        for lane in &mut lanes {
+                            while lane.breaks.get(lane.bpos).is_some_and(|&b| b == cand) {
+                                lane.bpos += 1;
+                            }
+                            none_accept *= 1.0 - lane.prob_at(cand);
+                        }
+                        tracker.consider_with_pr(cand, 1.0 - none_accept);
+                    }
+                    com_obs::counter_add("pricing.breakpoint_merges", 1);
+                }
+                None => {
+                    // At least one model caches nothing (parametric or
+                    // foreign implementation): rebuild the pooled
+                    // candidate list the pre-cache way.
+                    let mut cands: Vec<Value> = Vec::new();
+                    for w in workers {
+                        cands.extend(
+                            w.breakpoints()
+                                .into_iter()
+                                .filter(|&b| b > 0.0 && b <= request_value),
+                        );
+                    }
+                    cands.push(request_value);
+                    cands.sort_by(|a, b| a.total_cmp(b));
+                    cands.dedup();
+                    for c in cands {
+                        tracker.consider(workers, c);
+                    }
+                    com_obs::counter_add("pricing.breakpoint_rebuilds", 1);
+                }
+            }
         }
-        let pr = group_acceptance_prob(workers, payment);
-        let expected = (request_value - payment) * pr;
-        let better = match &best {
+        PriceCandidates::IntegerGrid => {
+            let mut p = 1.0;
+            while p < request_value {
+                tracker.consider(workers, p);
+                p += 1.0;
+            }
+            tracker.consider(workers, request_value);
+        }
+        PriceCandidates::UniformGrid(k) => {
+            let k = k.max(1);
+            for i in 1..=k {
+                tracker.consider(workers, request_value * i as f64 / k as f64);
+            }
+        }
+    }
+
+    com_obs::counter_add("pricing.candidates_evaluated", tracker.evaluated);
+    tracker.best
+}
+
+/// Best-candidate accumulator shared by every candidate-enumeration
+/// strategy, so the tie-break policy lives in one place.
+struct BestTracker {
+    request_value: Value,
+    best: Option<PricingOutcome>,
+    evaluated: u64,
+}
+
+impl BestTracker {
+    /// Consider a candidate whose group acceptance probability the caller
+    /// already knows (the streaming merge computes it incrementally).
+    fn consider_with_pr(&mut self, payment: Value, pr: f64) {
+        self.evaluated += 1;
+        let expected = (self.request_value - payment) * pr;
+        let better = match &self.best {
             None => expected > 0.0,
             Some(b) => {
                 expected > b.expected_revenue + 1e-12
@@ -97,49 +193,72 @@ pub fn max_expected_revenue<M: AcceptanceModel + ?Sized>(
             }
         };
         if better {
-            best = Some(PricingOutcome {
+            self.best = Some(PricingOutcome {
                 payment,
                 acceptance_prob: pr,
                 expected_revenue: expected,
             });
         }
-    };
-
-    match strategy {
-        PriceCandidates::Breakpoints => {
-            let mut cands: Vec<Value> = Vec::new();
-            for w in workers {
-                cands.extend(
-                    w.breakpoints()
-                        .into_iter()
-                        .filter(|&b| b > 0.0 && b <= request_value),
-                );
-            }
-            cands.push(request_value);
-            cands.sort_by(|a, b| a.total_cmp(b));
-            cands.dedup();
-            for c in cands {
-                consider(c);
-            }
-        }
-        PriceCandidates::IntegerGrid => {
-            let mut p = 1.0;
-            while p < request_value {
-                consider(p);
-                p += 1.0;
-            }
-            consider(request_value);
-        }
-        PriceCandidates::UniformGrid(k) => {
-            let k = k.max(1);
-            for i in 1..=k {
-                consider(request_value * i as f64 / k as f64);
-            }
-        }
     }
 
-    com_obs::counter_add("pricing.candidates_evaluated", evaluated);
-    best
+    /// Consider a candidate, computing `pr(payment, W)` from scratch.
+    fn consider<M: AcceptanceModel + ?Sized>(&mut self, workers: &[&M], payment: Value) {
+        if payment <= 0.0 || payment > self.request_value {
+            self.evaluated += 1;
+            return;
+        }
+        self.consider_with_pr(payment, group_acceptance_prob(workers, payment));
+    }
+}
+
+/// One worker's cached CDF state in the streaming breakpoint merge.
+struct Lane<'a> {
+    /// Cached sorted distinct history values; `bpos` indexes the first
+    /// not-yet-merged breakpoint (initially past the non-positive ones).
+    breaks: &'a [Value],
+    bpos: usize,
+    /// Sorted raw history values; `vpos` counts values `<= `the last
+    /// candidate — a monotone cursor, valid because candidates ascend.
+    vals: &'a [Value],
+    vpos: usize,
+}
+
+impl Lane<'_> {
+    /// `pr(cand, w)`: replicates `WorkerHistory::acceptance_prob` exactly
+    /// (`partition_point(v <= cand) / N`, newcomer rule for an empty
+    /// history) but advances a forward-only cursor instead of binary
+    /// searching per candidate.
+    fn prob_at(&mut self, cand: Value) -> f64 {
+        if self.vals.is_empty() {
+            // Newcomer rule: candidates are always positive here.
+            return 1.0;
+        }
+        while self.vals.get(self.vpos).is_some_and(|&v| v <= cand) {
+            self.vpos += 1;
+        }
+        self.vpos as f64 / self.vals.len() as f64
+    }
+}
+
+/// Build one merge lane per worker from the cached breakpoint and history
+/// slices. `None` when any model lacks the caches (parametric models, or
+/// foreign [`AcceptanceModel`] impls that keep the defaults) — the caller
+/// then falls back to rebuilding the pooled candidate list.
+fn merge_lanes<'a, M: AcceptanceModel + ?Sized>(workers: &[&'a M]) -> Option<Vec<Lane<'a>>> {
+    workers
+        .iter()
+        .map(|w| {
+            let breaks = w.breakpoints_sorted()?;
+            let vals = w.empirical_values()?;
+            let bpos = breaks.partition_point(|&b| b <= 0.0);
+            Some(Lane {
+                breaks,
+                bpos,
+                vals,
+                vpos: 0,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -171,6 +290,69 @@ mod tests {
         assert_eq!(out.payment, 4.0);
         assert!((out.acceptance_prob - 0.8).abs() < 1e-12);
         assert!((out.expected_revenue - 1.6).abs() < 1e-12);
+    }
+
+    /// Delegates to an empirical model but keeps the trait's default
+    /// (`None`) cache accessors, forcing `max_expected_revenue` down the
+    /// pooled-rebuild path — the reference the streaming merge must match.
+    struct Uncached(EmpiricalAcceptance);
+
+    impl AcceptanceModel for Uncached {
+        fn acceptance_prob(&self, payment: Value) -> f64 {
+            self.0.acceptance_prob(payment)
+        }
+
+        fn min_accepted_payment(&self) -> Option<Value> {
+            self.0.min_accepted_payment()
+        }
+
+        fn breakpoints(&self) -> Vec<Value> {
+            self.0.breakpoints()
+        }
+    }
+
+    fn outcome_bits(o: &Option<PricingOutcome>) -> Option<(u64, u64, u64)> {
+        o.as_ref().map(|o| {
+            (
+                o.payment.to_bits(),
+                o.acceptance_prob.to_bits(),
+                o.expected_revenue.to_bits(),
+            )
+        })
+    }
+
+    #[test]
+    fn streaming_merge_is_bit_identical_to_rebuild() {
+        // Duplicated breakpoints across workers, a breakpoint equal to
+        // v_r, one above v_r, and an empty (newcomer) history — the edge
+        // cases the merge dedup/filter must handle.
+        let cached = [
+            EmpiricalAcceptance::from_values(vec![2.0, 5.0, 8.0, 12.0]),
+            EmpiricalAcceptance::from_values(vec![5.0, 5.0, 7.0]),
+            EmpiricalAcceptance::from_values(vec![]),
+        ];
+        let uncached: Vec<Uncached> = cached.iter().cloned().map(Uncached).collect();
+        for value in [1.0, 5.0, 8.0, 8.5, 30.0] {
+            let fast: Vec<&EmpiricalAcceptance> = cached.iter().collect();
+            let slow: Vec<&Uncached> = uncached.iter().collect();
+            let a = max_expected_revenue(value, &fast, PriceCandidates::Breakpoints);
+            let b = max_expected_revenue(value, &slow, PriceCandidates::Breakpoints);
+            assert_eq!(outcome_bits(&a), outcome_bits(&b), "v_r = {value}");
+        }
+    }
+
+    #[test]
+    fn mixed_cached_and_uncached_workers_fall_back_consistently() {
+        // One worker without caches forces the whole call onto the rebuild
+        // path; the outcome must equal the all-uncached reference.
+        let e = EmpiricalAcceptance::from_values(vec![3.0, 6.0]);
+        let u = Uncached(EmpiricalAcceptance::from_values(vec![4.0, 9.0]));
+        let e_uncached = Uncached(e.clone());
+        let mixed: Vec<&dyn AcceptanceModel> = vec![&e, &u];
+        let reference: Vec<&dyn AcceptanceModel> = vec![&e_uncached, &u];
+        let a = max_expected_revenue(10.0, &mixed, PriceCandidates::Breakpoints);
+        let b = max_expected_revenue(10.0, &reference, PriceCandidates::Breakpoints);
+        assert_eq!(outcome_bits(&a), outcome_bits(&b));
     }
 
     #[test]
@@ -267,6 +449,25 @@ mod tests {
             // dominate any grid.
             prop_assert!(exact >= grid - 1e-9,
                 "breakpoints {exact} < uniform grid {grid}");
+        }
+
+        #[test]
+        fn prop_merge_bit_identical_to_rebuild(
+            h1 in proptest::collection::vec(0.0f64..20.0, 0..12),
+            h2 in proptest::collection::vec(0.0f64..20.0, 0..12),
+            value in 0.5f64..25.0,
+        ) {
+            let a = EmpiricalAcceptance::from_values(h1);
+            let b = EmpiricalAcceptance::from_values(h2);
+            let (ua, ub) = (Uncached(a.clone()), Uncached(b.clone()));
+            let fast: Vec<&EmpiricalAcceptance> = vec![&a, &b];
+            let slow: Vec<&Uncached> = vec![&ua, &ub];
+            prop_assert_eq!(
+                outcome_bits(&max_expected_revenue(
+                    value, &fast, PriceCandidates::Breakpoints)),
+                outcome_bits(&max_expected_revenue(
+                    value, &slow, PriceCandidates::Breakpoints)),
+            );
         }
 
         #[test]

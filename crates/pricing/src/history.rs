@@ -1,6 +1,6 @@
 //! Worker request-completion histories.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Error, Serialize};
 
 use crate::Value;
 
@@ -29,16 +29,31 @@ use crate::Value;
 /// assert_eq!(h.acceptance_prob(20.0), 1.0);
 /// assert_eq!(h.min_accepted_payment(), Some(5.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkerHistory {
     /// Sorted ascending.
     values: Vec<Value>,
+    /// The distinct values of `values` (the CDF breakpoints), sorted
+    /// ascending. Maintained incrementally so pricing never re-deduplicates
+    /// a history per decision; always consistent with `values`.
+    breaks: Vec<Value>,
+}
+
+/// Distinct values of a sorted slice, in order.
+fn dedup_sorted(values: &[Value]) -> Vec<Value> {
+    let mut out: Vec<Value> = Vec::with_capacity(values.len());
+    for &v in values {
+        if out.last().is_none_or(|&l| v > l) {
+            out.push(v);
+        }
+    }
+    out
 }
 
 impl WorkerHistory {
     /// An empty history.
     pub fn new() -> Self {
-        WorkerHistory { values: Vec::new() }
+        WorkerHistory::default()
     }
 
     /// Build from raw completed-request values (any order).
@@ -53,7 +68,8 @@ impl WorkerHistory {
             );
         }
         values.sort_by(|a, b| a.total_cmp(b));
-        WorkerHistory { values }
+        let breaks = dedup_sorted(&values);
+        WorkerHistory { values, breaks }
     }
 
     /// Number of completed history requests (`N`).
@@ -112,7 +128,9 @@ impl WorkerHistory {
         Some(self.values[idx])
     }
 
-    /// Record a newly completed request value, keeping the history sorted.
+    /// Record a newly completed request value, keeping the history sorted
+    /// and the breakpoint cache up to date (both are `O(log N)` searches
+    /// plus one insertion).
     pub fn record(&mut self, value: Value) {
         assert!(
             value.is_finite() && value >= 0.0,
@@ -120,19 +138,25 @@ impl WorkerHistory {
         );
         let pos = self.values.partition_point(|&v| v <= value);
         self.values.insert(pos, value);
+        let bpos = self.breaks.partition_point(|&b| b < value);
+        if self.breaks.get(bpos).copied() != Some(value) {
+            self.breaks.insert(bpos, value);
+        }
     }
 
     /// The distinct values of the history — the breakpoints of the
     /// empirical CDF (candidate prices for expected-revenue
     /// maximisation).
     pub fn breakpoints(&self) -> Vec<Value> {
-        let mut out: Vec<Value> = Vec::with_capacity(self.values.len());
-        for &v in &self.values {
-            if out.last().is_none_or(|&l| v > l) {
-                out.push(v);
-            }
-        }
-        out
+        self.breaks.clone()
+    }
+
+    /// The cached breakpoints as a sorted slice, without allocating.
+    /// Pricing's streaming maximiser merges these per worker instead of
+    /// rebuilding and re-sorting a candidate pool per decision.
+    #[inline]
+    pub fn breakpoints_sorted(&self) -> &[Value] {
+        &self.breaks
     }
 
     /// Raw sorted values.
@@ -142,7 +166,43 @@ impl WorkerHistory {
 
     /// Approximate heap footprint in bytes (for the memory metric).
     pub fn approx_bytes(&self) -> usize {
-        self.values.capacity() * std::mem::size_of::<Value>()
+        (self.values.capacity() + self.breaks.capacity()) * std::mem::size_of::<Value>()
+    }
+}
+
+/// Wire format is unchanged by the breakpoint cache: a history serialises
+/// as `{"values": [...]}` exactly as the former derived impl did, and the
+/// cache is rebuilt on deserialisation. Incoming values are *validated*
+/// (finite, non-negative) and re-sorted, so a hostile or stale peer cannot
+/// plant an unsorted or NaN history that would silently corrupt the
+/// empirical CDF.
+impl Serialize for WorkerHistory {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![(
+            Content::Str("values".to_string()),
+            Content::Seq(self.values.iter().map(|&v| Content::F64(v)).collect()),
+        )])
+    }
+}
+
+impl Deserialize for WorkerHistory {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let entries = match c {
+            Content::Map(entries) => entries,
+            other => return Err(Error::unexpected("a map", other)),
+        };
+        let raw = Content::find(entries, "values").ok_or_else(|| Error::missing_field("values"))?;
+        let mut values: Vec<Value> = Deserialize::from_content(raw)?;
+        for v in &values {
+            if !(v.is_finite() && *v >= 0.0) {
+                return Err(Error::custom(format!(
+                    "history values must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        values.sort_by(|a, b| a.total_cmp(b));
+        let breaks = dedup_sorted(&values);
+        Ok(WorkerHistory { values, breaks })
     }
 }
 
@@ -201,6 +261,39 @@ mod tests {
     fn breakpoints_deduplicate() {
         let h = WorkerHistory::from_values(vec![5.0, 5.0, 7.0, 7.0, 9.0]);
         assert_eq!(h.breakpoints(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(h.breakpoints_sorted(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn record_maintains_breakpoint_cache() {
+        let mut h = WorkerHistory::from_values(vec![5.0, 5.0, 9.0]);
+        h.record(5.0); // duplicate: values grow, breaks unchanged
+        assert_eq!(h.breakpoints_sorted(), &[5.0, 9.0]);
+        h.record(7.0); // new distinct value lands mid-cache
+        assert_eq!(h.breakpoints_sorted(), &[5.0, 7.0, 9.0]);
+        assert_eq!(h.values(), &[5.0, 5.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_wire_format_and_cache() {
+        let h = WorkerHistory::from_values(vec![9.0, 5.0, 5.0]);
+        let json = serde_json::to_string(&h).unwrap();
+        assert_eq!(json, "{\"values\":[5.0,5.0,9.0]}");
+        let back: WorkerHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.breakpoints_sorted(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn deserialize_sorts_and_rejects_bad_values() {
+        // Unsorted input from a peer is repaired, not trusted.
+        let h: WorkerHistory = serde_json::from_str("{\"values\":[9.0,2.0,2.0]}").unwrap();
+        assert_eq!(h.values(), &[2.0, 2.0, 9.0]);
+        assert_eq!(h.breakpoints_sorted(), &[2.0, 9.0]);
+        // Negative and non-finite values are typed errors, not panics.
+        assert!(serde_json::from_str::<WorkerHistory>("{\"values\":[-1.0]}").is_err());
+        assert!(serde_json::from_str::<WorkerHistory>("{\"values\":[\"nan\"]}").is_err());
+        assert!(serde_json::from_str::<WorkerHistory>("{\"history\":[]}").is_err());
     }
 
     #[test]

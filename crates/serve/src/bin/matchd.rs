@@ -10,7 +10,11 @@
 //! `com_serve::protocol`): each connection opens one `MatchSession` with
 //! `hello` (matcher spec, seed, world config, platform roster), streams
 //! `worker`/`request`/`tick` events in time order, and closes with
-//! `shutdown` to receive the audited final report (`bye`).
+//! `shutdown` to receive the audited final report (`bye`). A `hello`
+//! carrying `"frame": "binary"` switches the session to length-prefixed
+//! binary frames (see `com_serve::framing`) after the NDJSON `welcome`;
+//! no flag is needed — framing is negotiated per connection and the
+//! reader understands both at all times.
 //!
 //! * `--addr` — bind address (default `127.0.0.1:7878`); port `0` picks
 //!   an ephemeral port.

@@ -5,21 +5,30 @@
 //!     --addr HOST:PORT \
 //!     [--profile chengdu-oct|chengdu-nov|xian-nov|synthetic | --config FILE] \
 //!     [--quick] [--matcher SPEC] [--seed N] [--rate HZ] \
-//!     [--json FILE] [--strict]
+//!     [--frame ndjson|binary] [--window N] \
+//!     [--json FILE] [--baseline FILE] [--strict]
 //! ```
 //!
-//! Streams a `com-datagen` scenario through a live matchd session in
-//! strict lockstep (one outstanding message) and reports throughput and
-//! request round-trip latency (p50/p95/p99). Before shutdown it asks the
-//! server for `stats_deep` and prints the serving phase table
-//! (decode/ingest/decision/encode/flush latencies, queue high-water,
-//! busy-drops); the same table lands in the `--json` report as
-//! `server_phases`.
+//! Streams a `com-datagen` scenario through a live matchd session and
+//! reports throughput and request round-trip latency (p50/p95/p99).
+//! Before shutdown it asks the server for `stats_deep` and prints the
+//! serving phase table (decode/ingest/decision/encode/flush latencies,
+//! queue high-water, busy-drops); the same table lands in the `--json`
+//! report as `server_phases`.
 //!
 //! * `--quick` — a small synthetic scenario (400 requests, 120 workers)
 //!   regardless of profile; what CI's serve-smoke job runs.
 //! * `--rate` — target event rate in events/s (default 0 = full speed).
+//! * `--frame` — wire framing to negotiate in `hello` (default
+//!   `ndjson`); `binary` switches to length-prefixed frames after the
+//!   server's `welcome` confirms.
+//! * `--window` — max messages in flight (default 1 = strict lockstep).
+//!   Larger windows pipeline sends in batched writes; the served outcome
+//!   is identical, only transport overlap changes.
 //! * `--json` — write the report (the `BENCH_serve.json` format).
+//! * `--baseline FILE` — embed a previously written `--json` report
+//!   under `"baseline"` in this run's report, so one file carries a
+//!   before/after phase-table comparison.
 //! * `--strict` — verify the served run end to end: replay the same
 //!   instance through the local batch engine (`try_run_online`) and
 //!   require the server's canonical run JSON to match byte for byte,
@@ -32,7 +41,7 @@ use com_core::{try_run_online, MatcherRegistry};
 use com_datagen::{
     chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, ScenarioConfig, SyntheticParams,
 };
-use com_serve::{replay_scenario, DeepStatsMsg, ReplayOptions};
+use com_serve::{replay_scenario, DeepStatsMsg, ReplayOptions, WireFormat};
 
 struct Args {
     addr: String,
@@ -42,14 +51,19 @@ struct Args {
     matcher: String,
     seed: u64,
     rate_hz: f64,
+    frame: WireFormat,
+    window: usize,
     json_out: Option<String>,
+    baseline: Option<String>,
     strict: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: matchload --addr HOST:PORT [--profile NAME | --config FILE] \
-         [--quick] [--matcher SPEC] [--seed N] [--rate HZ] [--json FILE] [--strict]"
+         [--quick] [--matcher SPEC] [--seed N] [--rate HZ] \
+         [--frame ndjson|binary] [--window N] [--json FILE] \
+         [--baseline FILE] [--strict]"
     );
     std::process::exit(2);
 }
@@ -63,7 +77,10 @@ fn parse_args() -> Args {
         matcher: "demcom".into(),
         seed: 42,
         rate_hz: 0.0,
+        frame: WireFormat::Ndjson,
+        window: 1,
         json_out: None,
+        baseline: None,
         strict: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -92,7 +109,25 @@ fn parse_args() -> Args {
                     usage()
                 })
             }
+            "--frame" => {
+                let token = next("--frame");
+                args.frame = WireFormat::parse(&token).unwrap_or_else(|| {
+                    eprintln!("--frame must be ndjson or binary");
+                    usage()
+                })
+            }
+            "--window" => {
+                args.window = next("--window").parse().unwrap_or_else(|_| {
+                    eprintln!("--window must be a positive integer");
+                    usage()
+                });
+                if args.window == 0 {
+                    eprintln!("--window must be a positive integer");
+                    usage()
+                }
+            }
             "--json" => args.json_out = Some(next("--json")),
+            "--baseline" => args.baseline = Some(next("--baseline")),
             "--strict" => args.strict = true,
             "--help" | "-h" => usage(),
             other => {
@@ -171,19 +206,24 @@ fn main() {
     let scenario = load_scenario(&args);
     let instance = generate(&scenario);
     println!(
-        "matchload: {} events ({} requests, {} workers) -> {} [{}, seed {}]",
+        "matchload: {} events ({} requests, {} workers) -> {} [{}, seed {}, \
+         frame {}, window {}]",
         instance.stream.len(),
         instance.request_count(),
         instance.worker_count(),
         args.addr,
         args.matcher,
         args.seed,
+        args.frame,
+        args.window,
     );
 
     let options = ReplayOptions {
         matcher: args.matcher.clone(),
         seed: args.seed,
         rate_hz: args.rate_hz,
+        frame: args.frame,
+        window: args.window,
     };
     let report = replay_scenario(&args.addr, &instance, &options).unwrap_or_else(|e| {
         eprintln!("matchload: replay failed: {e}");
@@ -229,6 +269,16 @@ fn main() {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        let baseline = args.baseline.as_ref().map(|p| {
+            let text = fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {p}: {e}");
+                std::process::exit(2)
+            });
+            serde_json::from_str::<serde_json::Value>(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {p}: {e}");
+                std::process::exit(2)
+            })
+        });
         let json = serde_json::json!({
             "scenario": if args.quick { "quick-synthetic".to_string() } else { args.profile.clone() },
             "matcher": args.matcher,
@@ -237,6 +287,8 @@ fn main() {
             "workers": instance.worker_count(),
             "events": report.events,
             "rate_hz": args.rate_hz,
+            "frame": args.frame.as_str(),
+            "window": args.window,
             "wall_secs": report.wall_secs,
             "events_per_sec": report.events_per_sec(),
             "latency_us": serde_json::json!({
@@ -256,10 +308,14 @@ fn main() {
                 .map(|d| serde_json::to_value(&d.phases).expect("serialise phases"))
                 .unwrap_or_else(|| serde_json::Value::array(Vec::new())),
             "host_cores": cores,
-            "note": "single connection, synchronous request-response over loopback; \
+            "note": "single connection over loopback; window 1 = synchronous \
+                     request-response, window > 1 pipelines with batched writes; \
                      latency includes both protocol ends plus the decision itself; \
                      client and server share the listed cores, so throughput is a \
                      protocol-overhead floor, not a capacity ceiling",
+            // The before-run report (`--baseline`), or null: one file
+            // carries the before/after comparison.
+            "baseline": baseline,
         });
         fs::write(
             path,

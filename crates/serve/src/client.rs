@@ -1,21 +1,28 @@
-//! Client side: a line-oriented protocol client plus the scenario replay
-//! loop `matchload` and the loopback tests drive.
+//! Client side: a protocol client (NDJSON or binary framing) plus the
+//! scenario replay loop `matchload` and the loopback tests drive.
 //!
-//! [`replay_scenario`] streams an [`Instance`]'s arrival events through a live
-//! `matchd` session in strict request-response lockstep (one outstanding
-//! message), measuring the round-trip latency of every `request` event.
-//! Lockstep means the server's ingress queue can never overflow from this
-//! client — any `busy` received (counted in the report) is answered by
-//! backing off and resending, so a replay is lossless and its final
-//! `bye` is comparable to a local batch run.
+//! [`replay_scenario`] streams an [`Instance`]'s arrival events through a
+//! live `matchd` session. With `window == 1` (the default) it runs in
+//! strict request-response lockstep — one outstanding message, any `busy`
+//! answered by backing off and resending, so a replay is lossless and its
+//! final `bye` is comparable to a local batch run. With `window > 1` it
+//! *pipelines*: up to `window` messages are in flight at once and sends
+//! are batched into one write syscall per burst, which is how the binary
+//! framing's throughput headroom actually becomes events/second. The
+//! server answers strictly in order either way, so responses are matched
+//! to sends positionally; the window is kept far below the server's
+//! ingress queue capacity, so a `busy` (which would desynchronise the
+//! positional matching) is a hard error rather than a retry.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use com_obs::Histogram;
 use com_sim::{ArrivalEvent, Instance};
 
+use crate::framing::{self, FrameError, WireFormat, FRAME_MAGIC};
 use crate::protocol::{
     decode_server, encode, ByeMsg, ClientMsg, DeepStatsMsg, Hello, ServerMsg, WorkerMsg,
 };
@@ -24,6 +31,11 @@ use crate::protocol::{
 pub struct Client {
     reader: BufReader<TcpStream>,
     stream: TcpStream,
+    /// Pending outgoing bytes ([`Client::queue_msg`] / [`Client::flush`]).
+    wbuf: Vec<u8>,
+    /// Framing for *outgoing* messages. Incoming framing is auto-detected
+    /// per message from its first byte.
+    format: WireFormat,
 }
 
 fn bad_data(detail: String) -> std::io::Error {
@@ -33,28 +45,93 @@ fn bad_data(detail: String) -> std::io::Error {
 impl Client {
     pub fn connect(addr: &str) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // Sends are already batched into one write per burst; Nagle
+        // would only delay the burst behind an unacked response.
+        stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, stream })
+        Ok(Client {
+            reader,
+            stream,
+            wbuf: Vec::with_capacity(4 * 1024),
+            format: WireFormat::Ndjson,
+        })
     }
 
-    /// Send one message line.
+    /// Switch the outgoing framing (after the server echoed `"binary"` in
+    /// `welcome`).
+    pub fn set_format(&mut self, format: WireFormat) {
+        self.format = format;
+    }
+
+    /// Queue one message into the write buffer without flushing — the
+    /// pipelined replay path. Call [`Client::flush`] before blocking on
+    /// a response.
+    pub fn queue_msg(&mut self, msg: &ClientMsg) {
+        match self.format {
+            WireFormat::Ndjson => {
+                self.wbuf.extend_from_slice(encode(msg).as_bytes());
+                self.wbuf.push(b'\n');
+            }
+            WireFormat::Binary => framing::write_frame(msg, &mut self.wbuf),
+        }
+    }
+
+    /// Write every queued byte to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.wbuf)?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Send one message immediately (queue + flush).
     pub fn send(&mut self, msg: &ClientMsg) -> std::io::Result<()> {
-        let mut line = encode(msg);
-        line.push('\n');
-        self.stream.write_all(line.as_bytes())
+        self.queue_msg(msg);
+        self.flush()
     }
 
     /// Send one raw line verbatim (protocol-robustness tests).
     pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.flush()?;
         self.stream.write_all(line.as_bytes())?;
         self.stream.write_all(b"\n")
     }
 
-    /// Read the next server message. EOF is `UnexpectedEof`.
+    /// Send raw bytes verbatim, no newline (framing-robustness tests).
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.flush()?;
+        self.stream.write_all(bytes)
+    }
+
+    /// Read the next server message, whatever its framing: a first byte
+    /// of [`FRAME_MAGIC`] is a binary frame, anything else an NDJSON
+    /// line. EOF is `UnexpectedEof`.
     pub fn recv(&mut self) -> std::io::Result<ServerMsg> {
-        let mut line = String::new();
         loop {
-            line.clear();
+            let first = {
+                let buf = self.reader.fill_buf()?;
+                if buf.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                buf[0]
+            };
+            if first == FRAME_MAGIC {
+                let mut header = [0u8; framing::FRAME_HEADER_LEN];
+                self.reader.read_exact(&mut header)?;
+                let len = u32::from_le_bytes(header[1..].try_into().unwrap()) as usize;
+                if len > framing::MAX_FRAME_PAYLOAD {
+                    return Err(bad_data(FrameError::Oversized { len }.to_string()));
+                }
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                return framing::decode_msg(&payload).map_err(|e| bad_data(e.to_string()));
+            }
+            let mut line = String::new();
             if self.reader.read_line(&mut line)? == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
@@ -94,8 +171,15 @@ pub struct ReplayOptions {
     pub matcher: String,
     pub seed: u64,
     /// Target event send rate in events/second; `0.0` = as fast as the
-    /// lockstep allows.
+    /// protocol allows.
     pub rate_hz: f64,
+    /// Wire framing to request in `hello`. The client only switches when
+    /// the server echoes the request back in `welcome`.
+    pub frame: WireFormat,
+    /// Max messages in flight. `1` = strict lockstep (original
+    /// semantics, `busy` survivable); `> 1` pipelines and batches sends,
+    /// and `busy` becomes a hard error (see module docs).
+    pub window: usize,
 }
 
 impl Default for ReplayOptions {
@@ -104,6 +188,8 @@ impl Default for ReplayOptions {
             matcher: "demcom".into(),
             seed: 42,
             rate_hz: 0.0,
+            frame: WireFormat::Ndjson,
+            window: 1,
         }
     }
 }
@@ -118,8 +204,14 @@ pub struct ReplayReport {
     pub refused: usize,
     /// Backpressure events survived (dropped lines that were resent).
     pub busy: u64,
+    /// Event-streaming wall time: `hello` accepted → last event
+    /// response drained. Session teardown (deep stats, shutdown, audit,
+    /// the canonical run in `bye`) is excluded — a fixed per-session
+    /// cost, not per-event serving work.
     pub wall_secs: f64,
-    /// Round-trip latency of `request` events, nanoseconds.
+    /// Round-trip latency of `request` events, nanoseconds. Under
+    /// pipelining this measures send-to-response wall time, queueing
+    /// included.
     pub request_rtt_ns: Histogram,
     /// The server's deep telemetry snapshot (`stats_deep`), fetched just
     /// before shutdown. `None` when the server predates the message or
@@ -139,9 +231,80 @@ impl ReplayReport {
     }
 }
 
+/// One in-flight pipelined message awaiting its positional response.
+enum Pending {
+    Worker,
+    Request { sent: Instant },
+}
+
+struct ReplayCounts {
+    assigned: usize,
+    rejected: usize,
+    refused: usize,
+    request_rtt_ns: Histogram,
+}
+
+fn classify_worker(response: ServerMsg) -> std::io::Result<()> {
+    match response {
+        ServerMsg::ok => Ok(()),
+        ServerMsg::error(e) => Err(bad_data(format!(
+            "worker refused: {}: {}",
+            e.code, e.detail
+        ))),
+        other => Err(bad_data(format!("unexpected worker response: {other:?}"))),
+    }
+}
+
+fn classify_request(response: ServerMsg, counts: &mut ReplayCounts) -> std::io::Result<()> {
+    match response {
+        ServerMsg::assign(_) => counts.assigned += 1,
+        ServerMsg::reject(_) => counts.rejected += 1,
+        ServerMsg::timeout { .. } => counts.refused += 1,
+        ServerMsg::error(e) => {
+            return Err(bad_data(format!(
+                "request refused: {}: {}",
+                e.code, e.detail
+            )))
+        }
+        other => return Err(bad_data(format!("unexpected request response: {other:?}"))),
+    }
+    Ok(())
+}
+
+/// Receive and classify the oldest in-flight response.
+fn drain_one(
+    client: &mut Client,
+    pending: &mut VecDeque<Pending>,
+    counts: &mut ReplayCounts,
+) -> std::io::Result<()> {
+    let slot = pending
+        .pop_front()
+        .expect("drain_one called with nothing in flight");
+    let response = client.recv()?;
+    if matches!(response, ServerMsg::busy) {
+        // The server dropped a pipelined message; positional matching is
+        // broken and a silent resend would desynchronise the stream.
+        return Err(bad_data(
+            "server answered busy while pipelining — lower --window below the \
+             server's ingress queue capacity"
+                .into(),
+        ));
+    }
+    match slot {
+        Pending::Worker => classify_worker(response),
+        Pending::Request { sent } => {
+            counts
+                .request_rtt_ns
+                .record(sent.elapsed().as_nanos() as u64);
+            classify_request(response, counts)
+        }
+    }
+}
+
 /// Stream `instance` through a matchd session at `addr` and collect the
 /// report. The served outcome is exactly a batch `try_run_online` over
-/// the same instance and seed; compare `report.bye.canonical` against
+/// the same instance and seed — in either framing, at any window —
+/// compare `report.bye.canonical` against
 /// `com_bench::runner::canonical_run_json` to verify.
 pub fn replay_scenario(
     addr: &str,
@@ -155,10 +318,18 @@ pub fn replay_scenario(
         world: instance.config.clone(),
         platforms: instance.platform_names.clone(),
         max_value: instance.max_value(),
+        frame: Some(options.frame.as_str().to_string()),
     });
     let (response, mut busy) = client.rpc(&hello)?;
     match response {
-        ServerMsg::welcome { .. } => {}
+        ServerMsg::welcome { frame, .. } => {
+            // Only switch framings on an explicit echo; an old server
+            // (no echo) or a downgrading one keeps us on NDJSON.
+            let accepted = frame.as_deref().and_then(WireFormat::parse);
+            if options.frame == WireFormat::Binary && accepted == Some(WireFormat::Binary) {
+                client.set_format(WireFormat::Binary);
+            }
+        }
         ServerMsg::error(e) => {
             return Err(bad_data(format!("hello refused: {}: {}", e.code, e.detail)))
         }
@@ -166,13 +337,19 @@ pub fn replay_scenario(
     }
 
     let started = Instant::now();
-    let mut request_rtt_ns = Histogram::new();
-    let (mut assigned, mut rejected, mut refused) = (0usize, 0usize, 0usize);
+    let mut counts = ReplayCounts {
+        assigned: 0,
+        rejected: 0,
+        refused: 0,
+        request_rtt_ns: Histogram::new(),
+    };
     let period = if options.rate_hz > 0.0 {
         Some(Duration::from_secs_f64(1.0 / options.rate_hz))
     } else {
         None
     };
+    let window = options.window.max(1);
+    let mut pending: VecDeque<Pending> = VecDeque::with_capacity(window);
 
     for (i, event) in instance.stream.iter().enumerate() {
         if let Some(period) = period {
@@ -189,43 +366,52 @@ pub fn replay_scenario(
                     spec: *spec,
                     history: instance.histories.get(&spec.id).cloned(),
                 });
-                let (response, b) = client.rpc(&msg)?;
-                busy += b;
-                match response {
-                    ServerMsg::ok => {}
-                    ServerMsg::error(e) => {
-                        return Err(bad_data(format!(
-                            "worker refused: {}: {}",
-                            e.code, e.detail
-                        )))
-                    }
-                    other => {
-                        return Err(bad_data(format!("unexpected worker response: {other:?}")))
-                    }
+                if window == 1 {
+                    let (response, b) = client.rpc(&msg)?;
+                    busy += b;
+                    classify_worker(response)?;
+                } else {
+                    client.queue_msg(&msg);
+                    pending.push_back(Pending::Worker);
                 }
             }
             ArrivalEvent::Request(spec) => {
-                let sent = Instant::now();
-                let (response, b) = client.rpc(&ClientMsg::request(*spec))?;
-                request_rtt_ns.record(sent.elapsed().as_nanos() as u64);
-                busy += b;
-                match response {
-                    ServerMsg::assign(_) => assigned += 1,
-                    ServerMsg::reject(_) => rejected += 1,
-                    ServerMsg::timeout { .. } => refused += 1,
-                    ServerMsg::error(e) => {
-                        return Err(bad_data(format!(
-                            "request refused: {}: {}",
-                            e.code, e.detail
-                        )))
-                    }
-                    other => {
-                        return Err(bad_data(format!("unexpected request response: {other:?}")))
-                    }
+                if window == 1 {
+                    let sent = Instant::now();
+                    let (response, b) = client.rpc(&ClientMsg::request(*spec))?;
+                    counts
+                        .request_rtt_ns
+                        .record(sent.elapsed().as_nanos() as u64);
+                    busy += b;
+                    classify_request(response, &mut counts)?;
+                } else {
+                    client.queue_msg(&ClientMsg::request(*spec));
+                    pending.push_back(Pending::Request {
+                        sent: Instant::now(),
+                    });
                 }
             }
         }
+        if pending.len() >= window {
+            // Window full: flush the batched sends in one syscall, then
+            // drain half so sends and receives stay interleaved.
+            client.flush()?;
+            while pending.len() > window / 2 {
+                drain_one(&mut client, &mut pending, &mut counts)?;
+            }
+        }
     }
+    client.flush()?;
+    while !pending.is_empty() {
+        drain_one(&mut client, &mut pending, &mut counts)?;
+    }
+    // Stop the throughput clock here: every event has been sent *and*
+    // answered. Teardown below (stats_deep, shutdown → audit + the full
+    // canonical run in `bye`) is a fixed per-session cost that grows
+    // with run size but is not per-event serving work — including it
+    // would understate fast framings most (at binary+window speeds it
+    // was ~30% of the old wall).
+    let wall_secs = started.elapsed().as_secs_f64();
 
     // Deep telemetry snapshot while the session is still live: the phase
     // table covers exactly the events streamed above. Unknown-message
@@ -239,7 +425,6 @@ pub fn replay_scenario(
 
     let (response, b) = client.rpc(&ClientMsg::shutdown)?;
     busy += b;
-    let wall_secs = started.elapsed().as_secs_f64();
     let ServerMsg::bye(bye) = response else {
         return Err(bad_data(format!(
             "unexpected shutdown response: {response:?}"
@@ -247,12 +432,12 @@ pub fn replay_scenario(
     };
     Ok(ReplayReport {
         events: instance.stream.len(),
-        assigned,
-        rejected,
-        refused,
+        assigned: counts.assigned,
+        rejected: counts.rejected,
+        refused: counts.refused,
         busy,
         wall_secs,
-        request_rtt_ns,
+        request_rtt_ns: counts.request_rtt_ns,
         deep_stats,
         bye,
     })

@@ -8,6 +8,9 @@
 //! * [`protocol`] — the newline-delimited JSON wire protocol (`hello`,
 //!   `worker`, `request`, `tick`, `stats`, `shutdown` in;
 //!   `assign`/`reject`/`timeout`, `busy`, `stats`, `bye` out).
+//! * [`framing`] — the optional length-prefixed binary framing,
+//!   negotiated per session in `hello` (`"frame": "binary"`); NDJSON
+//!   stays the default and the debug path.
 //! * [`session`] — one client's [`com_core::MatchSession`] plus the event
 //!   log needed to audit the finished run with `validate_run`.
 //! * [`server`] — the threaded TCP server behind the `matchd` binary:
@@ -25,6 +28,7 @@
 //! `sync_channel` — no new dependencies.
 
 pub mod client;
+pub mod framing;
 pub mod protocol;
 pub mod replay;
 pub mod server;
@@ -32,6 +36,10 @@ pub mod session;
 pub mod trace;
 
 pub use client::{replay_scenario, Client, ReplayOptions, ReplayReport};
+pub use framing::{
+    decode_msg, decode_payload, encode_frame, write_frame, FrameError, WireFormat, FRAME_MAGIC,
+    MAX_FRAME_PAYLOAD, MAX_LINE_BYTES,
+};
 pub use protocol::{
     decode_client, decode_server, encode, ByeMsg, ClientMsg, CounterRow, DecodeError, DeepStatsMsg,
     ErrorMsg, GaugeRow, Hello, PhaseRow, ServerMsg, StatsMsg, WorkerMsg,

@@ -1,9 +1,10 @@
-//! The matchd wire protocol: newline-delimited JSON.
+//! The matchd wire protocol: newline-delimited JSON, with an optional
+//! binary framing (see [`crate::framing`]) negotiated in `hello`.
 //!
-//! Every message is one JSON value on one line (`\n`-terminated). The
-//! client opens a session with `hello` and then streams arrival events in
-//! time order; the server answers every client message with exactly one
-//! response, in order:
+//! In the default framing every message is one JSON value on one line
+//! (`\n`-terminated). The client opens a session with `hello` and then
+//! streams arrival events in time order; the server answers every client
+//! message with exactly one response, in order:
 //!
 //! | client                                | server                                  |
 //! |---------------------------------------|-----------------------------------------|
@@ -48,6 +49,12 @@ pub struct Hello {
     pub platforms: Vec<String>,
     #[serde(default)]
     pub max_value: Option<f64>,
+    /// Requested wire framing: `"binary"` asks for length-prefixed binary
+    /// frames after the (always-NDJSON) `welcome`; absent or `"ndjson"`
+    /// stays on NDJSON. Servers that predate framing ignore this field,
+    /// and the missing echo in `welcome` downgrades the client safely.
+    #[serde(default)]
+    pub frame: Option<String>,
 }
 
 /// A worker arrival, optionally carrying the worker's acceptance history
@@ -80,8 +87,9 @@ pub enum ClientMsg {
 }
 
 /// A structured protocol error. `code` is machine-matchable:
-/// `bad-json`, `unknown-message`, `no-session`, `duplicate-hello`,
-/// `unknown-matcher`, `constraint`.
+/// `bad-json`, `bad-frame`, `unknown-message`, `no-session`,
+/// `duplicate-hello`, `unknown-matcher`, `constraint`,
+/// `oversized-line`, `oversized-frame`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorMsg {
     pub code: String,
@@ -169,6 +177,11 @@ pub struct DeepStatsMsg {
     /// Lines this server dropped with `busy` (server-wide, same counter
     /// as `stats.dropped`).
     pub busy_dropped: u64,
+    /// Oversized lines/frames this connection rejected with a typed
+    /// error (`oversized-line` / `oversized-frame`). `#[serde(default)]`
+    /// so reports from pre-framing servers still parse.
+    #[serde(default)]
+    pub oversized_rejected: u64,
 }
 
 impl DeepStatsMsg {
@@ -222,6 +235,10 @@ pub struct ByeMsg {
 pub enum ServerMsg {
     welcome {
         algorithm: String,
+        /// Echo of the framing the server accepted (`"ndjson"` or
+        /// `"binary"`). Missing (old server) means NDJSON; a client must
+        /// only switch to binary after seeing `"binary"` echoed here.
+        frame: Option<String>,
     },
     /// Generic acknowledgement for `worker` and `tick`.
     ok,
@@ -245,11 +262,14 @@ pub enum ServerMsg {
     bye(ByeMsg),
 }
 
-/// Why an incoming line failed to decode: not JSON at all, or valid JSON
-/// that is not a known message.
+/// Why an incoming message failed to decode: not JSON at all, not a
+/// well-formed binary frame, or a valid value that is not a known
+/// message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DecodeError {
     BadJson(String),
+    /// Binary framing only: the payload bytes do not decode to a value.
+    BadFrame(String),
     UnknownMessage(String),
 }
 
@@ -257,6 +277,7 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::BadJson(d) => write!(f, "bad json: {d}"),
+            DecodeError::BadFrame(d) => write!(f, "bad frame: {d}"),
             DecodeError::UnknownMessage(d) => write!(f, "unknown message: {d}"),
         }
     }
@@ -346,6 +367,7 @@ mod tests {
             world: WorldConfig::city(10.0),
             platforms: vec!["A".into(), "B".into()],
             max_value: Some(30.0),
+            frame: None,
         });
         let back = decode_client(&encode(&hello)).unwrap();
         let ClientMsg::hello(h) = back else {
@@ -391,6 +413,7 @@ mod tests {
             queue_depth: 1,
             queue_high_water: 7,
             busy_dropped: 0,
+            oversized_rejected: 0,
         };
         deep.set_telemetry(&telemetry);
         assert_eq!(deep.algorithm, "DemCOM");

@@ -187,6 +187,7 @@ pub fn replay_trace(
         world: meta.world.clone(),
         platforms: meta.platforms.clone(),
         max_value: meta.max_value,
+        frame: meta.frame.clone(),
     };
     let mut session = ServeSession::open(&hello)?;
     let mut divergences = Vec::new();
@@ -320,6 +321,7 @@ pub fn record_session(
         world: instance.config.clone(),
         platforms: instance.platform_names.clone(),
         max_value: instance.max_value(),
+        frame: None,
     };
     let mut session = ServeSession::open(&hello)?;
     let recorder = TraceRecorder::create(path)

@@ -14,16 +14,31 @@
 //! `com_core::validate_run`, and (when the socket still exists) reported
 //! in a `bye`. Reader threads poll a stop flag on a read timeout, so
 //! every thread joins; nothing is detached.
+//!
+//! The reader speaks both wire framings at once, detecting each incoming
+//! message from its first byte (`framing::FRAME_MAGIC` = binary frame,
+//! anything else = NDJSON line), and both inputs are capped: a line
+//! longer than [`framing::MAX_LINE_BYTES`] or a frame payload larger
+//! than [`framing::MAX_FRAME_PAYLOAD`] is answered with a typed error,
+//! counted in [`QueueStats::oversized`], and discarded without ever
+//! buffering the oversized bytes. Responses are batched: the session
+//! thread queues encoded replies into the shared writer and flushes only
+//! when the ingress queue runs dry (or at teardown), so a burst of
+//! pipelined client messages costs one write syscall, not one per
+//! decision.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::framing::{
+    self, split_frame, write_frame, FrameSplit, WireFormat, FRAME_MAGIC, MAX_LINE_BYTES,
+};
 use crate::protocol::{decode_client, encode, ClientMsg, DecodeError, ErrorMsg, ServerMsg};
 use crate::session::ServeSession;
 use crate::trace::{sanitize_spec, TraceRecorder};
@@ -75,6 +90,7 @@ impl Default for ServerConfig {
 pub struct QueueStats {
     depth: AtomicU64,
     high_water: AtomicU64,
+    oversized: AtomicU64,
 }
 
 impl QueueStats {
@@ -86,6 +102,16 @@ impl QueueStats {
     /// Deepest the queue has ever been.
     pub fn high_water(&self) -> u64 {
         self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Oversized lines/frames rejected (and discarded) on this
+    /// connection.
+    pub fn oversized(&self) -> u64 {
+        self.oversized.load(Ordering::Relaxed)
+    }
+
+    fn on_oversized(&self) {
+        self.oversized.fetch_add(1, Ordering::Relaxed);
     }
 
     fn on_enqueue(&self) {
@@ -212,6 +238,10 @@ fn accept_loop(
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Both sides batch into few large writes, so Nagle buys
+                // nothing and its delayed-ACK interaction can stall a
+                // pipelined burst mid-window.
+                stream.set_nodelay(true).ok();
                 let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed);
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
@@ -240,7 +270,10 @@ fn accept_loop(
 
 /// What flows from the reader thread to the session thread.
 pub(crate) enum Ingress {
+    /// One NDJSON line (trimmed, non-empty, newline stripped).
     Line(String),
+    /// One binary frame payload (header stripped, length already capped).
+    Frame(Vec<u8>),
     /// The client closed (or broke) the connection.
     Eof,
 }
@@ -280,7 +313,17 @@ impl IngressQueue {
     /// dropped: the drop counter increments and `busy` is written to the
     /// client. Returns `false` when the session side is gone.
     pub(crate) fn push_line(&self, line: String) -> bool {
-        match self.tx.try_send(Ingress::Line(line)) {
+        self.push(Ingress::Line(line))
+    }
+
+    /// Try to enqueue one binary frame payload; same busy/drop policy as
+    /// [`IngressQueue::push_line`].
+    pub(crate) fn push_frame(&self, payload: Vec<u8>) -> bool {
+        self.push(Ingress::Frame(payload))
+    }
+
+    fn push(&self, ingress: Ingress) -> bool {
+        match self.tx.try_send(ingress) {
             Ok(()) => {
                 self.stats.on_enqueue();
                 true
@@ -294,6 +337,27 @@ impl IngressQueue {
         }
     }
 
+    /// Reject an oversized line or frame from the reader thread: answer
+    /// with a typed error, count it, and let the reader discard the
+    /// bytes. The rejection is out of band (like `busy`) — the input was
+    /// never queued.
+    pub(crate) fn reject_oversized(&self, code: &str, detail: String) {
+        self.stats.on_oversized();
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.writer.send(&error(code, detail));
+    }
+
+    /// Reject a line that can never decode (not UTF-8) without killing
+    /// the connection. Out of band, like [`IngressQueue::reject_oversized`].
+    pub(crate) fn reject_bad_line(&self, detail: String) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.writer.send(&error("bad-json", detail));
+    }
+
     /// Signal end-of-stream. Blocks until the session thread has room —
     /// EOF must never be dropped, or the session would leak.
     pub(crate) fn push_eof(&self) {
@@ -301,17 +365,40 @@ impl IngressQueue {
     }
 }
 
-/// A line-oriented writer shared by the session thread (responses) and
-/// the reader thread (out-of-band `busy`).
+/// The stream plus its pending output buffer and negotiated framing,
+/// guarded by one mutex so queued responses and out-of-band `busy`
+/// interleave in a well-defined order.
+struct WriterState {
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    format: WireFormat,
+}
+
+/// Flush eagerly once the pending buffer passes this size, even when the
+/// ingress queue is still busy — bounds writer memory under a client
+/// that streams without ever pausing.
+const FLUSH_THRESHOLD: usize = 256 * 1024;
+
+/// A writer shared by the session thread (responses) and the reader
+/// thread (out-of-band `busy` / oversized rejections). Responses are
+/// *queued* into a buffer and flushed in batches; see
+/// [`SharedWriter::flush`].
 #[derive(Clone)]
 pub(crate) struct SharedWriter {
-    inner: Arc<Mutex<Option<TcpStream>>>,
+    inner: Arc<Mutex<WriterState>>,
+    /// One audit finding per connection when the lock is found poisoned.
+    poison_noted: Arc<AtomicBool>,
 }
 
 impl SharedWriter {
     fn new(stream: Option<TcpStream>) -> Self {
         SharedWriter {
-            inner: Arc::new(Mutex::new(stream)),
+            inner: Arc::new(Mutex::new(WriterState {
+                stream,
+                buf: Vec::new(),
+                format: WireFormat::Ndjson,
+            })),
+            poison_noted: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -321,22 +408,87 @@ impl SharedWriter {
         SharedWriter::new(None)
     }
 
-    /// Write one message line. Errors are deliberately swallowed: a
-    /// vanished peer must not abort the draining session. The `encode`
-    /// and `flush` spans land in whichever thread calls this — the
-    /// session thread's collector for responses; a no-op for the reader
-    /// thread's out-of-band `busy`.
-    fn send(&self, msg: &ServerMsg) {
-        let mut line = {
-            let _span = com_obs::span(com_obs::PHASE_SERVE_ENCODE);
-            encode(msg)
-        };
-        line.push('\n');
-        let mut guard = self.inner.lock().expect("writer lock");
-        if let Some(stream) = guard.as_mut() {
-            let _span = com_obs::span(com_obs::PHASE_SERVE_FLUSH);
-            let _ = stream.write_all(line.as_bytes());
+    /// Lock the writer, recovering a poisoned guard instead of cascading
+    /// the panic into every other connection thread. The state a writer
+    /// protects (a byte buffer and a stream) stays usable whatever the
+    /// panicking thread was doing; recovery is logged once per
+    /// connection as an audit finding.
+    fn lock(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            if !self.poison_noted.swap(true, Ordering::Relaxed) {
+                com_core::record_findings(
+                    "matchd shared writer",
+                    &[com_core::AuditFinding::Serving {
+                        detail: "writer lock poisoned by a panicking connection thread; \
+                                 recovered and kept serving"
+                            .into(),
+                    }],
+                );
+                eprintln!("matchd: recovered poisoned writer lock");
+            }
+            poisoned.into_inner()
+        })
+    }
+
+    /// Switch the outgoing framing (after a successful negotiation). The
+    /// already-queued bytes — the NDJSON `welcome` — are untouched.
+    fn set_format(&self, format: WireFormat) {
+        self.lock().format = format;
+    }
+
+    /// Encode one message into the pending buffer without flushing.
+    fn queue(&self, msg: &ServerMsg) {
+        let mut state = self.lock();
+        let _span = com_obs::span(com_obs::PHASE_SERVE_ENCODE);
+        Self::queue_locked(&mut state, msg);
+        if state.buf.len() >= FLUSH_THRESHOLD {
+            drop(_span);
+            Self::flush_locked(&mut state);
         }
+    }
+
+    fn queue_locked(state: &mut WriterState, msg: &ServerMsg) {
+        match state.format {
+            WireFormat::Ndjson => {
+                state.buf.extend_from_slice(encode(msg).as_bytes());
+                state.buf.push(b'\n');
+            }
+            WireFormat::Binary => write_frame(msg, &mut state.buf),
+        }
+    }
+
+    /// Write the pending buffer to the socket. Errors are deliberately
+    /// swallowed (a vanished peer must not abort the draining session),
+    /// but they do drop the stream so a dead connection stops costing
+    /// write syscalls. The `flush` span lands in whichever thread calls
+    /// this — the session thread's collector for responses; a no-op for
+    /// the reader thread.
+    fn flush(&self) {
+        Self::flush_locked(&mut self.lock());
+    }
+
+    fn flush_locked(state: &mut WriterState) {
+        if state.buf.is_empty() {
+            return;
+        }
+        let _span = com_obs::span(com_obs::PHASE_SERVE_FLUSH);
+        if let Some(stream) = state.stream.as_mut() {
+            if stream.write_all(&state.buf).is_err() {
+                state.stream = None;
+            }
+        }
+        state.buf.clear();
+    }
+
+    /// Queue and flush in one lock acquisition — the path for immediate
+    /// messages (out-of-band `busy`, typed rejections, the final `bye`).
+    fn send(&self, msg: &ServerMsg) {
+        let mut state = self.lock();
+        {
+            let _span = com_obs::span(com_obs::PHASE_SERVE_ENCODE);
+            Self::queue_locked(&mut state, msg);
+        }
+        Self::flush_locked(&mut state);
     }
 }
 
@@ -380,28 +532,39 @@ fn handle_connection(
     let _ = reader.join();
 }
 
+/// Reader-side discard state for oversized input: how to get back to the
+/// next message boundary without buffering the offending bytes.
+enum Discard {
+    None,
+    /// Drop exactly this many more bytes (an oversized frame's declared
+    /// length).
+    Bytes(usize),
+    /// Drop up to and including the next `\n` (an endless line).
+    ToNewline,
+}
+
 fn reader_loop(
-    stream: TcpStream,
+    mut stream: TcpStream,
     queue: IngressQueue,
     stop: Arc<AtomicBool>,
     done: Arc<AtomicBool>,
 ) {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut discard = Discard::None;
     loop {
         if stop.load(Ordering::SeqCst) || done.load(Ordering::SeqCst) {
             queue.push_eof();
             return;
         }
-        match reader.read_line(&mut line) {
+        match stream.read(&mut chunk) {
             Ok(0) => {
                 queue.push_eof();
                 return;
             }
-            Ok(_) => {
-                let text = std::mem::take(&mut line);
-                let text = text.trim();
-                if !text.is_empty() && !queue.push_line(text.to_string()) {
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if !drain_ingress(&mut buf, &mut discard, &queue) {
                     return; // session side gone
                 }
             }
@@ -409,8 +572,8 @@ fn reader_loop(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Read timeout: partial bytes (if any) stay in `line`;
-                // loop to re-check the stop flags.
+                // Read timeout: partial bytes stay buffered; loop to
+                // re-check the stop flags.
             }
             Err(_) => {
                 queue.push_eof();
@@ -418,6 +581,113 @@ fn reader_loop(
             }
         }
     }
+}
+
+/// Carve complete messages off the front of the read buffer, detecting
+/// the framing of each from its first byte. Returns `false` when the
+/// session side is gone. Incomplete trailing input stays buffered —
+/// except oversized input, which is rejected and then *discarded* via
+/// `discard` so the buffer never grows past the caps.
+fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue) -> bool {
+    let mut pos = 0usize;
+    let alive = loop {
+        match discard {
+            Discard::None => {}
+            Discard::Bytes(n) => {
+                let eat = (*n).min(buf.len() - pos);
+                pos += eat;
+                *n -= eat;
+                if *n > 0 {
+                    break true; // buffer exhausted mid-discard
+                }
+                *discard = Discard::None;
+            }
+            Discard::ToNewline => match buf[pos..].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    pos += nl + 1;
+                    *discard = Discard::None;
+                }
+                None => {
+                    pos = buf.len();
+                    break true;
+                }
+            },
+        }
+        if pos >= buf.len() {
+            break true;
+        }
+        if buf[pos] == FRAME_MAGIC {
+            match split_frame(&buf[pos..]) {
+                FrameSplit::Incomplete => break true,
+                FrameSplit::Complete { consumed } => {
+                    let payload = buf[pos + framing::FRAME_HEADER_LEN..pos + consumed].to_vec();
+                    pos += consumed;
+                    if !queue.push_frame(payload) {
+                        break false;
+                    }
+                }
+                FrameSplit::Oversized { len, skip } => {
+                    queue.reject_oversized(
+                        "oversized-frame",
+                        format!(
+                            "frame payload of {len} bytes exceeds {}",
+                            framing::MAX_FRAME_PAYLOAD
+                        ),
+                    );
+                    *discard = Discard::Bytes(skip);
+                }
+            }
+        } else {
+            match buf[pos..].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let line = &buf[pos..pos + nl];
+                    let advance = nl + 1;
+                    if line.len() > MAX_LINE_BYTES {
+                        queue.reject_oversized(
+                            "oversized-line",
+                            format!("line of {} bytes exceeds {MAX_LINE_BYTES}", line.len()),
+                        );
+                        pos += advance;
+                    } else {
+                        match std::str::from_utf8(line) {
+                            Ok(text) => {
+                                let text = text.trim();
+                                let line = (!text.is_empty()).then(|| text.to_string());
+                                pos += advance;
+                                if let Some(l) = line {
+                                    if !queue.push_line(l) {
+                                        break false;
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                // Not UTF-8, so not JSON either: reject
+                                // the line but keep the connection.
+                                queue.reject_bad_line(format!("line is not UTF-8: {e}"));
+                                pos += advance;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if buf.len() - pos > MAX_LINE_BYTES {
+                        queue.reject_oversized(
+                            "oversized-line",
+                            format!(
+                                "unterminated line past {MAX_LINE_BYTES} bytes ({} so far)",
+                                buf.len() - pos
+                            ),
+                        );
+                        *discard = Discard::ToNewline;
+                        pos = buf.len();
+                    }
+                    break true;
+                }
+            }
+        }
+    };
+    buf.drain(..pos);
+    alive
 }
 
 fn session_loop(
@@ -435,12 +705,26 @@ fn session_loop(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        match rx.recv_timeout(POLL_INTERVAL) {
-            Ok(Ingress::Line(text)) => {
+        // Drain the queue hot (responses pile up in the writer buffer);
+        // flush only when about to block — one syscall per burst.
+        let ingress = match rx.try_recv() {
+            Ok(i) => i,
+            Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => {
+                writer.flush();
+                match rx.recv_timeout(POLL_INTERVAL) {
+                    Ok(i) => i,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match ingress {
+            Ingress::Line(_) | Ingress::Frame(_) => {
                 let depth = queue_stats.on_drain();
                 com_obs::gauge_set("ingress.queue_depth", depth as f64);
-                let ended = handle_line(
-                    &text,
+                let ended = handle_ingress(
+                    ingress,
                     &mut session,
                     &writer,
                     config,
@@ -453,9 +737,7 @@ fn session_loop(
                     break;
                 }
             }
-            Ok(Ingress::Eof) => break,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
+            Ingress::Eof => break,
         }
     }
     // Whatever ended the loop — protocol shutdown, client disconnect, or
@@ -478,6 +760,9 @@ fn session_loop(
             );
         }
     }
+    // Responses queued after the last flush point (e.g. the burst that
+    // ended in `shutdown`) leave with the connection.
+    writer.flush();
 }
 
 fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
@@ -487,11 +772,29 @@ fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
     })
 }
 
-/// Process one decoded line; returns `true` when the protocol ended the
-/// session (`shutdown`).
+/// Decode one unit of ingress in the session thread. Lines and frames
+/// meet the same two-stage error split: undecodable bytes
+/// (`bad-json`/`bad-frame`) versus a well-formed value that is not a
+/// protocol message (`unknown-message`).
+fn decode_ingress(ingress: &Ingress) -> Result<ClientMsg, DecodeError> {
+    match ingress {
+        Ingress::Line(text) => decode_client(text),
+        Ingress::Frame(payload) => match framing::decode_payload(payload) {
+            Err(e) => Err(DecodeError::BadFrame(e.to_string())),
+            Ok(content) => serde::Deserialize::from_content(&content)
+                .map_err(|e: serde::Error| DecodeError::UnknownMessage(e.to_string())),
+        },
+        Ingress::Eof => unreachable!("EOF is handled by the session loop"),
+    }
+}
+
+/// Process one ingress unit; returns `true` when the protocol ended the
+/// session (`shutdown`). Responses are *queued* — the session loop
+/// flushes when the ingress queue runs dry — except `bye`, which always
+/// flushes because it is the last thing the connection says.
 #[allow(clippy::too_many_arguments)]
-fn handle_line(
-    text: &str,
+fn handle_ingress(
+    ingress: Ingress,
     session: &mut Option<ServeSession>,
     writer: &SharedWriter,
     config: &ServerConfig,
@@ -502,18 +805,23 @@ fn handle_line(
 ) -> bool {
     let decoded = {
         let _span = com_obs::span(com_obs::PHASE_SERVE_DECODE);
-        decode_client(text)
+        decode_ingress(&ingress)
     };
     let msg = match decoded {
         Ok(msg) => msg,
         Err(DecodeError::BadJson(detail)) => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.send(&error("bad-json", detail));
+            writer.queue(&error("bad-json", detail));
+            return false;
+        }
+        Err(DecodeError::BadFrame(detail)) => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            writer.queue(&error("bad-frame", detail));
             return false;
         }
         Err(DecodeError::UnknownMessage(detail)) => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.send(&error("unknown-message", detail));
+            writer.queue(&error("unknown-message", detail));
             return false;
         }
     };
@@ -521,7 +829,7 @@ fn handle_line(
         ClientMsg::hello(hello) => {
             if session.is_some() {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                writer.send(&error("duplicate-hello", "session already open"));
+                writer.queue(&error("duplicate-hello", "session already open"));
                 return false;
             }
             match ServeSession::open(&hello) {
@@ -529,14 +837,27 @@ fn handle_line(
                     if let Some(dir) = &config.record_dir {
                         attach_recorder(&mut s, dir, conn_id, &hello);
                     }
-                    writer.send(&ServerMsg::welcome {
+                    // Negotiate framing: honour a recognised request,
+                    // silently downgrade anything else to NDJSON. The
+                    // welcome itself always goes out in the *current*
+                    // (NDJSON) framing; the switch applies after it.
+                    let format = hello
+                        .frame
+                        .as_deref()
+                        .and_then(WireFormat::parse)
+                        .unwrap_or(WireFormat::Ndjson);
+                    writer.queue(&ServerMsg::welcome {
                         algorithm: s.algorithm(),
+                        frame: Some(format.as_str().to_string()),
                     });
+                    if format == WireFormat::Binary {
+                        writer.set_format(WireFormat::Binary);
+                    }
                     *session = Some(s);
                 }
                 Err(detail) => {
                     counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    writer.send(&error("unknown-matcher", detail));
+                    writer.queue(&error("unknown-matcher", detail));
                 }
             }
             false
@@ -573,8 +894,11 @@ fn handle_line(
             let dropped = counters.dropped();
             let depth = queue_stats.depth();
             let high_water = queue_stats.high_water();
+            let oversized = queue_stats.oversized();
             with_session(session, writer, counters, |s| {
-                ServerMsg::stats_deep(Box::new(s.deep_stats(dropped, depth, high_water)))
+                ServerMsg::stats_deep(Box::new(
+                    s.deep_stats(dropped, depth, high_water, oversized),
+                ))
             });
             false
         }
@@ -587,7 +911,7 @@ fn handle_line(
                 true
             } else {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                writer.send(&error("no-session", "shutdown before hello"));
+                writer.queue(&error("no-session", "shutdown before hello"));
                 false
             }
         }
@@ -629,11 +953,11 @@ fn with_session(
             if matches!(response, ServerMsg::error(_)) {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
             }
-            writer.send(&response);
+            writer.queue(&response);
         }
         None => {
             counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.send(&error("no-session", "say hello first"));
+            writer.queue(&error("no-session", "say hello first"));
         }
     }
 }

@@ -94,6 +94,7 @@ impl ServeSession {
             max_value: hello.max_value,
             platforms: hello.platforms.clone(),
             world: hello.world.clone(),
+            frame: hello.frame.clone(),
         }));
         self.recorder = Some(recorder);
     }
@@ -219,6 +220,7 @@ impl ServeSession {
         dropped: u64,
         queue_depth: u64,
         queue_high_water: u64,
+        oversized_rejected: u64,
     ) -> DeepStatsMsg {
         let mut deep = DeepStatsMsg {
             stats: self.stats(dropped),
@@ -229,6 +231,7 @@ impl ServeSession {
             queue_depth,
             queue_high_water,
             busy_dropped: dropped,
+            oversized_rejected,
         };
         if let Some(telemetry) = com_obs::snapshot_run() {
             deep.set_telemetry(&telemetry);

@@ -61,6 +61,10 @@ pub struct TraceMeta {
     pub max_value: Option<f64>,
     pub platforms: Vec<String>,
     pub world: WorldConfig,
+    /// Wire framing the session asked for in `hello` (`"binary"` or
+    /// `"ndjson"`/absent). Informational: traces are always JSONL and
+    /// replay identically whatever the session's framing was.
+    pub frame: Option<String>,
 }
 
 /// One successfully ingested arrival event.
@@ -318,6 +322,7 @@ mod tests {
             max_value: Some(30.0),
             platforms: vec!["A".into(), "B".into()],
             world: WorldConfig::city(10.0),
+            frame: None,
         }
     }
 

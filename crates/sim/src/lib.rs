@@ -35,7 +35,7 @@ pub use instance::{Instance, InstanceData};
 pub use outcome::{Assignment, MatchKind};
 pub use service::ServiceModel;
 pub use violation::ConstraintViolation;
-pub use waiting_list::WaitingList;
+pub use waiting_list::{IdleWorker, WaitingList};
 pub use worker::{Worker, WorkerState};
 pub use world::{World, WorldConfig};
 

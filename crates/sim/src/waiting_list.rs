@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use com_geo::{BoundingBox, DistanceMetric, GridIndex, Km, Point};
+use com_geo::{BoundingBox, DistanceMetric, GridEntry, GridIndex, Km, Point};
 use com_stream::{Timestamp, WorkerId};
 
 /// An idle worker as seen by the matcher: everything needed to apply the
@@ -100,20 +100,51 @@ impl WaitingList {
     /// and nearest-first, which is the assignment order DemCOM and TOTA
     /// use.
     pub fn coverers(&self, point: Point) -> Vec<IdleWorker> {
-        let mut out: Vec<IdleWorker> = self
-            .index
-            .coverers(point)
-            .into_iter()
-            .map(|e| self.entries[&WorkerId(e.id)])
-            .filter(|w| self.metric.covers(w.location, point, w.radius))
-            .collect();
+        let mut out = Vec::new();
+        let mut grid_buf = Vec::new();
+        self.coverers_into(point, &mut out, &mut grid_buf);
+        out
+    }
+
+    /// Allocation-free `coverers`: results land in `out` (cleared first,
+    /// same nearest-first order), and `grid_buf` is the reusable scratch
+    /// for the underlying grid query. Matchers call this once per decision
+    /// with buffers they own, so the hot path stops allocating two Vecs
+    /// per request.
+    pub fn coverers_into(
+        &self,
+        point: Point,
+        out: &mut Vec<IdleWorker>,
+        grid_buf: &mut Vec<GridEntry>,
+    ) {
+        out.clear();
+        self.coverers_each(point, grid_buf, |w| out.push(w));
         out.sort_by(|a, b| {
             self.metric
                 .distance(a.location, point)
                 .total_cmp(&self.metric.distance(b.location, point))
                 .then_with(|| a.id.cmp(&b.id))
         });
-        out
+    }
+
+    /// Visit every coverer of `point` in *unspecified* order, without
+    /// sorting. `World::outer_coverers_into` merges several lists and
+    /// sorts once globally — the (distance, id) key is total (worker ids
+    /// are globally unique), so skipping the per-list sort cannot change
+    /// the merged order.
+    pub fn coverers_each(
+        &self,
+        point: Point,
+        grid_buf: &mut Vec<GridEntry>,
+        mut f: impl FnMut(IdleWorker),
+    ) {
+        self.index.coverers_into(point, grid_buf);
+        for e in grid_buf.iter() {
+            let w = self.entries[&WorkerId(e.id)];
+            if self.metric.covers(w.location, point, w.radius) {
+                f(w);
+            }
+        }
     }
 
     /// The nearest idle worker covering `point` under the list's metric,

@@ -256,6 +256,20 @@ impl World {
         self.waiting[p.index()].coverers(point)
     }
 
+    /// Allocation-free [`World::inner_coverers`]: candidates land in `out`
+    /// (cleared first, same nearest-first order); `grid_buf` is grid-query
+    /// scratch. Matchers that keep both buffers across decisions stop
+    /// paying two allocations per request.
+    pub fn inner_coverers_into(
+        &self,
+        p: PlatformId,
+        point: Point,
+        out: &mut Vec<IdleWorker>,
+        grid_buf: &mut Vec<com_geo::GridEntry>,
+    ) {
+        self.waiting[p.index()].coverers_into(point, out, grid_buf);
+    }
+
     /// The nearest idle inner worker covering `point`.
     pub fn nearest_inner_coverer(&self, p: PlatformId, point: Point) -> Option<IdleWorker> {
         self.waiting[p.index()].nearest_coverer(point)
@@ -264,13 +278,31 @@ impl World {
     /// Idle workers of *other* platforms covering `point` (the candidate
     /// *outer* workers, Definition 2.3), merged nearest-first.
     pub fn outer_coverers(&self, p: PlatformId, point: Point) -> Vec<(PlatformId, IdleWorker)> {
-        let mut out: Vec<(PlatformId, IdleWorker)> = Vec::new();
+        let mut out = Vec::new();
+        let mut grid_buf = Vec::new();
+        self.outer_coverers_into(p, point, &mut out, &mut grid_buf);
+        out
+    }
+
+    /// Allocation-free [`World::outer_coverers`]: candidates land in `out`
+    /// (cleared first, same merged nearest-first order). Per-list results
+    /// are appended unsorted and sorted once globally — the (distance, id)
+    /// key is total because worker ids are globally unique, so the order
+    /// is identical to sorting each list first.
+    pub fn outer_coverers_into(
+        &self,
+        p: PlatformId,
+        point: Point,
+        out: &mut Vec<(PlatformId, IdleWorker)>,
+        grid_buf: &mut Vec<com_geo::GridEntry>,
+    ) {
+        out.clear();
         for (idx, wl) in self.waiting.iter().enumerate() {
             if idx == p.index() {
                 continue;
             }
             let pid = PlatformId(idx as u16);
-            out.extend(wl.coverers(point).into_iter().map(|w| (pid, w)));
+            wl.coverers_each(point, grid_buf, |w| out.push((pid, w)));
         }
         let metric = self.config.metric;
         out.sort_by(|a, b| {
@@ -279,7 +311,6 @@ impl World {
                 .total_cmp(&metric.distance(b.1.location, point))
                 .then_with(|| a.1.id.cmp(&b.1.id))
         });
-        out
     }
 
     /// Immutable access to a worker.

@@ -35,7 +35,7 @@ fn served_run_equals_batch_run_and_audits_clean() {
     let options = ReplayOptions {
         matcher: "demcom".into(),
         seed: 9,
-        rate_hz: 0.0,
+        ..ReplayOptions::default()
     };
     let report = replay_scenario(&addr, &instance, &options).expect("loopback replay");
 
@@ -78,7 +78,7 @@ fn sequential_sessions_on_one_server_are_independent() {
         let options = ReplayOptions {
             matcher: "ramcom".into(),
             seed: 4242,
-            rate_hz: 0.0,
+            ..ReplayOptions::default()
         };
         let report = replay_scenario(&addr, &instance, &options).expect("loopback replay");
         assert_eq!(report.bye.audit_findings, Vec::<String>::new());
@@ -103,6 +103,7 @@ fn stats_reports_live_counters_mid_session() {
         world: instance.config.clone(),
         platforms: instance.platform_names.clone(),
         max_value: instance.max_value(),
+        frame: None,
     });
     let (response, _) = client.rpc(&hello).expect("hello");
     assert!(matches!(response, ServerMsg::welcome { .. }));

@@ -95,7 +95,7 @@ fn live_recorded_session_replays_byte_identically() {
     let options = ReplayOptions {
         matcher: "demcom".into(),
         seed: 31,
-        rate_hz: 0.0,
+        ..ReplayOptions::default()
     };
     let report = replay_scenario(&addr, &instance, &options).expect("loopback replay");
     assert!(report.bye.audit_findings.is_empty());
@@ -225,7 +225,7 @@ fn deep_stats_reports_the_serving_phase_table_over_loopback() {
     let options = ReplayOptions {
         matcher: "greedy-rt".into(),
         seed: 5,
-        rate_hz: 0.0,
+        ..ReplayOptions::default()
     };
     let report = replay_scenario(&addr, &instance, &options).expect("loopback replay");
     handle.shutdown();
