@@ -239,6 +239,20 @@ impl Drop for SpanGuard {
     }
 }
 
+/// Record a pre-measured duration into `phase`'s histogram, as if a span
+/// of that length had just ended on this thread. For work measured on a
+/// thread that has no collector of its own (e.g. matchd's per-connection
+/// decode threads) and accounted on the instrumented thread that consumes
+/// it (a shard executor). No trace line is written — the measuring
+/// thread's wall-clock epoch is not this collector's.
+#[inline]
+pub fn span_record(phase: &'static str, dur_ns: u64) {
+    if !is_active() {
+        return;
+    }
+    with_collector(|c| c.hist_mut(phase).record(dur_ns));
+}
+
 /// Bump a named counter (creates it at zero on first use).
 #[inline]
 pub fn counter_add(name: &'static str, delta: u64) {

@@ -2,45 +2,58 @@
 //!
 //! ```text
 //! cargo run -p com-serve --release --bin matchd -- \
-//!     [--addr HOST:PORT] [--addr-file FILE] [--queue N] [--once] [--stats] \
+//!     [--addr HOST:PORT] [--addr-file FILE] [--queue N] \
+//!     [--shards N] [--placement hash|grid[:CELL]] [--once] [--stats] \
 //!     [--record DIR] [--no-telemetry]
 //! ```
 //!
 //! Listens for newline-delimited-JSON sessions (see
-//! `com_serve::protocol`): each connection opens one `MatchSession` with
+//! `com_serve::protocol`): a session opens one `MatchSession` with
 //! `hello` (matcher spec, seed, world config, platform roster), streams
 //! `worker`/`request`/`tick` events in time order, and closes with
-//! `shutdown` to receive the audited final report (`bye`). A `hello`
-//! carrying `"frame": "binary"` switches the session to length-prefixed
-//! binary frames (see `com_serve::framing`) after the NDJSON `welcome`;
-//! no flag is needed — framing is negotiated per connection and the
-//! reader understands both at all times.
+//! `shutdown` to receive the audited final report (`bye`). A connection
+//! may drive one bare session, or multiplex many logical sessions by
+//! wrapping every message in the `{"sid":…,"msg":…}` envelope. Sessions
+//! execute on a pool of shared-nothing shard threads
+//! (`com_serve::shard`); placement is deterministic either way. A `hello`
+//! carrying `"frame": "binary"` switches the connection to
+//! length-prefixed binary frames (see `com_serve::framing`) after the
+//! NDJSON `welcome`; no flag is needed — framing is negotiated in-band
+//! and the reader understands both at all times.
 //!
 //! * `--addr` — bind address (default `127.0.0.1:7878`); port `0` picks
 //!   an ephemeral port.
 //! * `--addr-file` — write the bound address to FILE once listening
 //!   (how scripts discover an ephemeral port).
-//! * `--queue` — ingress queue capacity per connection (default 1024);
-//!   when full, lines are dropped and answered with `busy`.
-//! * `--once` — exit after the first connection finishes (CI smoke runs).
-//! * `--stats` — print a per-session ingest-latency summary on teardown.
-//! * `--record` — flight recorder: write one session trace
-//!   (`session-<conn>-<matcher>-<seed>.jsonl`, schema in
-//!   `com_serve::trace`) per connection into DIR; replay later with
-//!   `matchreplay`.
-//! * `--no-telemetry` — do not install the per-connection `com-obs`
+//! * `--queue` — ingress queue capacity per shard (default 1024); when
+//!   full, messages are dropped and answered with `busy`.
+//! * `--shards` — shard worker threads (default 1). Sessions are
+//!   identical at any shard count; only parallelism changes.
+//! * `--placement` — session→shard rule: `hash` (default, stable hash of
+//!   the session key) or `grid[:CELL]` (bucket `hello.origin` into a
+//!   square grid cell of side CELL world units and hash the cell, so
+//!   spatially co-located sessions share a shard).
+//! * `--once` — exit once at least one connection was accepted and all
+//!   accepted connections have finished (CI smoke runs).
+//! * `--stats` — print a per-session ingest-latency summary when each
+//!   connection drains, in stable session-id order.
+//! * `--record` — flight recorder: write one trace per logical session
+//!   (`session-<sid>-<matcher>-<seed>.jsonl`, schema in
+//!   `com_serve::trace`) into DIR; replay later with `matchreplay`.
+//! * `--no-telemetry` — do not install the per-shard `com-obs`
 //!   collector; `stats_deep` then answers with empty phase tables.
 //!   Decisions are identical either way (telemetry is observer-only).
 //!
 //! Without `--once` the daemon runs until killed; every in-flight
 //! session is still drained and audited on client disconnect.
 
-use com_serve::{serve, ServerConfig};
+use com_serve::{serve, Placement, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: matchd [--addr HOST:PORT] [--addr-file FILE] [--queue N] \
-         [--once] [--stats] [--record DIR] [--no-telemetry]"
+         [--shards N] [--placement hash|grid[:CELL]] [--once] [--stats] \
+         [--record DIR] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -68,6 +81,22 @@ fn main() {
                     usage()
                 })
             }
+            "--shards" => {
+                config.shards = next("--shards").parse().unwrap_or_else(|_| {
+                    eprintln!("--shards must be a positive integer");
+                    usage()
+                });
+                if config.shards == 0 {
+                    eprintln!("--shards must be a positive integer");
+                    usage()
+                }
+            }
+            "--placement" => {
+                config.placement = Placement::parse(&next("--placement")).unwrap_or_else(|e| {
+                    eprintln!("--placement: {e}");
+                    usage()
+                })
+            }
             "--once" => config.once = true,
             "--stats" => config.print_stats = true,
             "--record" => config.record_dir = Some(next("--record").into()),
@@ -81,6 +110,7 @@ fn main() {
     }
 
     let once = config.once;
+    let shards = config.shards.max(1);
     if let Some(dir) = &config.record_dir {
         println!("matchd recording session traces to {}", dir.display());
     }
@@ -88,7 +118,7 @@ fn main() {
         eprintln!("matchd: cannot bind: {e}");
         std::process::exit(1);
     });
-    println!("matchd listening on {}", handle.addr());
+    println!("matchd listening on {} ({shards} shard(s))", handle.addr());
     if let Some(path) = addr_file {
         if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
             eprintln!("matchd: cannot write {path}: {e}");

@@ -4,55 +4,70 @@
 //! cargo run -p com-serve --release --bin matchload -- \
 //!     --addr HOST:PORT \
 //!     [--profile chengdu-oct|chengdu-nov|xian-nov|synthetic | --config FILE] \
-//!     [--quick] [--matcher SPEC] [--seed N] [--rate HZ] \
+//!     [--quick] [--full-scale] [--matcher SPEC] [--seed N] [--rate HZ] \
 //!     [--frame ndjson|binary] [--window N] \
+//!     [--connections M] [--sessions K] \
 //!     [--json FILE] [--baseline FILE] [--strict]
 //! ```
 //!
-//! Streams a `com-datagen` scenario through a live matchd session and
-//! reports throughput and request round-trip latency (p50/p95/p99).
-//! Before shutdown it asks the server for `stats_deep` and prints the
-//! serving phase table (decode/ingest/decision/encode/flush latencies,
-//! queue high-water, busy-drops); the same table lands in the `--json`
-//! report as `server_phases`.
+//! Streams a `com-datagen` scenario through a live matchd and reports
+//! throughput and request round-trip latency (p50/p95/p99). Before
+//! shutdown it asks the server for `stats_deep` and prints the serving
+//! phase table (decode/ingest/decision/encode/flush latencies, queue
+//! high-water, busy-drops) plus — against a sharded server — the
+//! per-shard rows; the same tables land in the `--json` report as
+//! `server_phases` and `server_shards`.
 //!
 //! * `--quick` — a small synthetic scenario (400 requests, 120 workers)
 //!   regardless of profile; what CI's serve-smoke job runs.
+//! * `--full-scale` — the full-scale city scenario (4000 requests, 1200
+//!   workers — 10× quick); the paper-scale serving experiment.
 //! * `--rate` — target event rate in events/s (default 0 = full speed).
 //! * `--frame` — wire framing to negotiate in `hello` (default
 //!   `ndjson`); `binary` switches to length-prefixed frames after the
 //!   server's `welcome` confirms.
-//! * `--window` — max messages in flight (default 1 = strict lockstep).
-//!   Larger windows pipeline sends in batched writes; the served outcome
-//!   is identical, only transport overlap changes.
+//! * `--window` — max messages in flight per connection (default 1 =
+//!   strict lockstep). Larger windows pipeline sends in batched writes;
+//!   the served outcome is identical, only transport overlap changes.
+//! * `--connections` / `--sessions` — drive K logical sessions
+//!   multiplexed over M connections (session `sid` rides connection
+//!   `sid % M`, with seed `--seed + sid`). Either flag above 1 switches
+//!   to the mux driver; the default (1/1) is the original bare-session
+//!   lockstep client.
 //! * `--json` — write the report (the `BENCH_serve.json` format).
 //! * `--baseline FILE` — embed a previously written `--json` report
 //!   under `"baseline"` in this run's report, so one file carries a
 //!   before/after phase-table comparison.
-//! * `--strict` — verify the served run end to end: replay the same
-//!   instance through the local batch engine (`try_run_online`) and
-//!   require the server's canonical run JSON to match byte for byte,
-//!   zero audit findings, and zero dropped lines; exit 1 otherwise.
+//! * `--strict` — verify every served session end to end: replay the
+//!   same instance through the local batch engine (`try_run_online`,
+//!   per-session seed) and require the server's canonical run JSON and
+//!   finish digest to match byte for byte, zero audit findings, and
+//!   zero dropped messages; exit 1 otherwise.
 
 use std::fs;
 
-use com_bench::runner::canonical_run_json;
+use com_bench::runner::{canonical_run_digest, canonical_run_json};
 use com_core::{try_run_online, MatcherRegistry};
 use com_datagen::{
     chengdu_nov, chengdu_oct, generate, synthetic, xian_nov, ScenarioConfig, SyntheticParams,
 };
-use com_serve::{replay_scenario, DeepStatsMsg, ReplayOptions, WireFormat};
+use com_serve::{
+    drive_multi, replay_scenario, DeepStatsMsg, MultiOptions, ReplayOptions, ShardRow, WireFormat,
+};
 
 struct Args {
     addr: String,
     profile: String,
     config: Option<String>,
     quick: bool,
+    full_scale: bool,
     matcher: String,
     seed: u64,
     rate_hz: f64,
     frame: WireFormat,
     window: usize,
+    connections: usize,
+    sessions: usize,
     json_out: Option<String>,
     baseline: Option<String>,
     strict: bool,
@@ -61,9 +76,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: matchload --addr HOST:PORT [--profile NAME | --config FILE] \
-         [--quick] [--matcher SPEC] [--seed N] [--rate HZ] \
-         [--frame ndjson|binary] [--window N] [--json FILE] \
-         [--baseline FILE] [--strict]"
+         [--quick] [--full-scale] [--matcher SPEC] [--seed N] [--rate HZ] \
+         [--frame ndjson|binary] [--window N] [--connections M] \
+         [--sessions K] [--json FILE] [--baseline FILE] [--strict]"
     );
     std::process::exit(2);
 }
@@ -74,11 +89,14 @@ fn parse_args() -> Args {
         profile: "synthetic".into(),
         config: None,
         quick: false,
+        full_scale: false,
         matcher: "demcom".into(),
         seed: 42,
         rate_hz: 0.0,
         frame: WireFormat::Ndjson,
         window: 1,
+        connections: 1,
+        sessions: 1,
         json_out: None,
         baseline: None,
         strict: false,
@@ -96,6 +114,7 @@ fn parse_args() -> Args {
             "--profile" => args.profile = next("--profile"),
             "--config" => args.config = Some(next("--config")),
             "--quick" => args.quick = true,
+            "--full-scale" => args.full_scale = true,
             "--matcher" => args.matcher = next("--matcher"),
             "--seed" => {
                 args.seed = next("--seed").parse().unwrap_or_else(|_| {
@@ -126,6 +145,26 @@ fn parse_args() -> Args {
                     usage()
                 }
             }
+            "--connections" => {
+                args.connections = next("--connections").parse().unwrap_or_else(|_| {
+                    eprintln!("--connections must be a positive integer");
+                    usage()
+                });
+                if args.connections == 0 {
+                    eprintln!("--connections must be a positive integer");
+                    usage()
+                }
+            }
+            "--sessions" => {
+                args.sessions = next("--sessions").parse().unwrap_or_else(|_| {
+                    eprintln!("--sessions must be a positive integer");
+                    usage()
+                });
+                if args.sessions == 0 {
+                    eprintln!("--sessions must be a positive integer");
+                    usage()
+                }
+            }
             "--json" => args.json_out = Some(next("--json")),
             "--baseline" => args.baseline = Some(next("--baseline")),
             "--strict" => args.strict = true,
@@ -148,6 +187,14 @@ fn load_scenario(args: &Args) -> ScenarioConfig {
         return synthetic(SyntheticParams {
             n_requests: 400,
             n_workers: 120,
+            ..SyntheticParams::default()
+        });
+    }
+    if args.full_scale {
+        // 10× quick: the paper-scale full city run.
+        return synthetic(SyntheticParams {
+            n_requests: 4000,
+            n_workers: 1200,
             ..SyntheticParams::default()
         });
     }
@@ -201,10 +248,261 @@ fn print_phase_table(deep: &DeepStatsMsg) {
     }
 }
 
+/// The sharded server's health rows from `stats_deep`.
+fn print_shard_table(shards: &[ShardRow]) {
+    println!("server shards ({}):", shards.len());
+    println!(
+        "  {:<6} {:>9} {:>10} {:>14} {:>9} {:>11}",
+        "shard", "sessions", "total", "events_routed", "queue_hw", "busy_drops"
+    );
+    for s in shards {
+        println!(
+            "  {:<6} {:>9} {:>10} {:>14} {:>9} {:>11}",
+            s.shard,
+            s.sessions,
+            s.sessions_total,
+            s.events_routed,
+            s.queue_high_water,
+            s.busy_dropped,
+        );
+    }
+}
+
+fn scenario_name(args: &Args) -> String {
+    if args.quick {
+        "quick-synthetic".to_string()
+    } else if args.full_scale {
+        "full-scale-synthetic".to_string()
+    } else {
+        args.profile.clone()
+    }
+}
+
+/// Local batch ground truth for one session seed: canonical run JSON
+/// (normalised through the parser) and the finish digest.
+fn local_truth(instance: &com_sim::Instance, matcher_spec: &str, seed: u64) -> (String, String) {
+    let registry = MatcherRegistry::builtin();
+    let factory = registry.resolve(matcher_spec).unwrap_or_else(|e| {
+        eprintln!("matchload: {e}");
+        std::process::exit(2)
+    });
+    let mut matcher = factory();
+    let batch = try_run_online(instance, matcher.as_mut(), seed);
+    let local = serde_json::to_string(&canonical_run_json(&batch)).expect("serialise");
+    // Round-trip through the parser so both sides use the identical
+    // value representation before comparing.
+    let local: serde_json::Value = serde_json::from_str(&local).expect("round-trip");
+    (
+        serde_json::to_string(&local).expect("serialise"),
+        canonical_run_digest(&batch),
+    )
+}
+
+/// The multi-connection mux driver (`--connections` / `--sessions`).
+fn run_multi(args: &Args, instance: &com_sim::Instance) {
+    let options = MultiOptions {
+        matcher: args.matcher.clone(),
+        base_seed: args.seed,
+        connections: args.connections,
+        sessions: args.sessions.max(args.connections),
+        frame: args.frame,
+        window: args.window,
+        rate_hz: args.rate_hz,
+    };
+    println!(
+        "matchload: {} events x {} sessions over {} connections -> {} \
+         [{}, base seed {}, frame {}, window {}]",
+        instance.stream.len(),
+        options.sessions,
+        options.connections,
+        args.addr,
+        args.matcher,
+        args.seed,
+        args.frame,
+        args.window,
+    );
+    let report = drive_multi(&args.addr, instance, &options).unwrap_or_else(|e| {
+        eprintln!("matchload: multi replay failed: {e}");
+        std::process::exit(1)
+    });
+
+    let h = &report.request_rtt_ns;
+    println!(
+        "served {} events across {} sessions in {:.2}s — {:.0} events/s \
+         aggregate, {} busy",
+        report.events,
+        report.sessions.len(),
+        report.wall_secs,
+        report.events_per_sec(),
+        report.busy,
+    );
+    println!(
+        "request rtt: p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  mean {:.1}us",
+        us(h.p50()),
+        us(h.quantile(0.95)),
+        us(h.p99()),
+        h.mean() / 1e3,
+    );
+    for s in &report.sessions {
+        println!(
+            "  session {} (conn {}, seed {}): {} assigned, {} rejected, \
+             {} timed out, revenue {:.1}, {} audit findings",
+            s.sid,
+            s.connection,
+            s.seed,
+            s.assigned,
+            s.rejected,
+            s.refused,
+            s.bye.revenue,
+            s.bye.audit_findings.len(),
+        );
+        for finding in &s.bye.audit_findings {
+            eprintln!("    audit: {finding}");
+        }
+    }
+    if let Some(deep) = &report.deep_stats {
+        if !deep.shards.is_empty() {
+            print_shard_table(&deep.shards);
+        }
+        print_phase_table(deep);
+    }
+
+    if let Some(path) = &args.json_out {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let baseline = args.baseline.as_ref().map(|p| read_baseline(p));
+        let per_session: Vec<serde_json::Value> = report
+            .sessions
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "sid": s.sid,
+                    "connection": s.connection,
+                    "seed": s.seed,
+                    "assigned": s.assigned,
+                    "rejected": s.rejected,
+                    "refused": s.refused,
+                    "revenue": s.bye.revenue,
+                    "audit_findings": s.bye.audit_findings.len(),
+                    "digest": s.bye.digest.clone(),
+                })
+            })
+            .collect();
+        let json = serde_json::json!({
+            "scenario": scenario_name(args),
+            "mode": "multi",
+            "matcher": args.matcher,
+            "base_seed": args.seed,
+            "connections": options.connections,
+            "sessions": options.sessions,
+            "requests": instance.request_count(),
+            "workers": instance.worker_count(),
+            "events": report.events,
+            "rate_hz": args.rate_hz,
+            "frame": args.frame.as_str(),
+            "window": args.window,
+            "wall_secs": report.wall_secs,
+            "events_per_sec": report.events_per_sec(),
+            "latency_us": serde_json::json!({
+                "p50": us(h.p50()),
+                "p95": us(h.quantile(0.95)),
+                "p99": us(h.p99()),
+                "mean": h.mean() / 1e3,
+            }),
+            "busy": report.busy,
+            "per_session": per_session,
+            "server_shards": report
+                .deep_stats
+                .as_ref()
+                .map(|d| serde_json::to_value(&d.shards).expect("serialise shards"))
+                .unwrap_or_else(|| serde_json::Value::array(Vec::new())),
+            "server_phases": report
+                .deep_stats
+                .as_ref()
+                .map(|d| serde_json::to_value(&d.phases).expect("serialise phases"))
+                .unwrap_or_else(|| serde_json::Value::array(Vec::new())),
+            "host_cores": cores,
+            "note": "multi-session mux driver over loopback; every session \
+                     replays the same instance with seed base+sid; client and \
+                     server share the listed cores, so throughput is a \
+                     protocol-overhead floor, not a capacity ceiling",
+            "baseline": baseline,
+        });
+        write_json(path, &json);
+    }
+
+    if args.strict {
+        let mut failures = Vec::new();
+        if report.busy > 0 {
+            failures.push(format!("{} busy (dropped message) event(s)", report.busy));
+        }
+        for s in &report.sessions {
+            if !s.bye.audit_findings.is_empty() {
+                failures.push(format!(
+                    "session {}: {} audit finding(s)",
+                    s.sid,
+                    s.bye.audit_findings.len()
+                ));
+            }
+            let (local, digest) = local_truth(instance, &args.matcher, s.seed);
+            let served = serde_json::to_string(&s.bye.canonical).expect("serialise");
+            if local != served {
+                failures.push(format!(
+                    "session {}: served canonical run differs from local batch run",
+                    s.sid
+                ));
+            }
+            if !s.bye.digest.is_empty() && s.bye.digest != digest {
+                failures.push(format!(
+                    "session {}: served digest {} != local {digest}",
+                    s.sid, s.bye.digest
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("matchload: --strict failed: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        println!(
+            "strict: all {} served sessions match their local batch runs exactly \
+             (canonical JSON and digest); audit clean",
+            report.sessions.len()
+        );
+    }
+}
+
+fn read_baseline(path: &str) -> serde_json::Value {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(2)
+    });
+    serde_json::from_str::<serde_json::Value>(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {path}: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn write_json(path: &str, json: &serde_json::Value) {
+    fs::write(
+        path,
+        serde_json::to_string_pretty(json).expect("serialise report"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1)
+    });
+    println!("report written to {path}");
+}
+
 fn main() {
     let args = parse_args();
     let scenario = load_scenario(&args);
     let instance = generate(&scenario);
+    if args.connections > 1 || args.sessions > 1 {
+        run_multi(&args, &instance);
+        return;
+    }
     println!(
         "matchload: {} events ({} requests, {} workers) -> {} [{}, seed {}, \
          frame {}, window {}]",
@@ -269,18 +567,9 @@ fn main() {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let baseline = args.baseline.as_ref().map(|p| {
-            let text = fs::read_to_string(p).unwrap_or_else(|e| {
-                eprintln!("cannot read baseline {p}: {e}");
-                std::process::exit(2)
-            });
-            serde_json::from_str::<serde_json::Value>(&text).unwrap_or_else(|e| {
-                eprintln!("cannot parse baseline {p}: {e}");
-                std::process::exit(2)
-            })
-        });
+        let baseline = args.baseline.as_ref().map(|p| read_baseline(p));
         let json = serde_json::json!({
-            "scenario": if args.quick { "quick-synthetic".to_string() } else { args.profile.clone() },
+            "scenario": scenario_name(&args),
             "matcher": args.matcher,
             "seed": args.seed,
             "requests": instance.request_count(),
@@ -317,15 +606,7 @@ fn main() {
             // carries the before/after comparison.
             "baseline": baseline,
         });
-        fs::write(
-            path,
-            serde_json::to_string_pretty(&json).expect("serialise report"),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1)
-        });
-        println!("report written to {path}");
+        write_json(path, &json);
     }
 
     if args.strict {
@@ -342,23 +623,18 @@ fn main() {
         // The ground truth: the same instance, matcher, and seed through
         // the local batch engine must match the served run byte for byte
         // in the canonical projection.
-        let registry = MatcherRegistry::builtin();
-        let factory = registry.resolve(&args.matcher).unwrap_or_else(|e| {
-            eprintln!("matchload: {e}");
-            std::process::exit(2)
-        });
-        let mut matcher = factory();
-        let batch = try_run_online(&instance, matcher.as_mut(), args.seed);
-        let local = serde_json::to_string(&canonical_run_json(&batch)).expect("serialise");
+        let (local, digest) = local_truth(&instance, &args.matcher, args.seed);
         let served = serde_json::to_string(&report.bye.canonical).expect("serialise");
-        // Round-trip the local JSON through the parser so both sides use
-        // the identical value representation before comparing.
-        let local: serde_json::Value = serde_json::from_str(&local).expect("round-trip");
-        let local = serde_json::to_string(&local).expect("serialise");
         if local != served {
             failures.push("served canonical run differs from local batch run".into());
             eprintln!("local:  {local}");
             eprintln!("served: {served}");
+        }
+        if !report.bye.digest.is_empty() && report.bye.digest != digest {
+            failures.push(format!(
+                "served digest {} != local {digest}",
+                report.bye.digest
+            ));
         }
         if !failures.is_empty() {
             eprintln!("matchload: --strict failed: {}", failures.join("; "));

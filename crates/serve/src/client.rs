@@ -24,7 +24,8 @@ use com_sim::{ArrivalEvent, Instance};
 
 use crate::framing::{self, FrameError, WireFormat, FRAME_MAGIC};
 use crate::protocol::{
-    decode_server, encode, ByeMsg, ClientMsg, DeepStatsMsg, Hello, ServerMsg, WorkerMsg,
+    decode_server, decode_server_frame, encode, ByeMsg, ClientFrame, ClientMsg, DeepStatsMsg,
+    Hello, ServerFrame, ServerMsg, WorkerMsg,
 };
 
 /// A connected protocol client.
@@ -73,6 +74,27 @@ impl Client {
                 self.wbuf.push(b'\n');
             }
             WireFormat::Binary => framing::write_frame(msg, &mut self.wbuf),
+        }
+    }
+
+    /// Queue one message addressed to logical session `sid` — bare when
+    /// `None`, wrapped in the `{"sid":…,"msg":…}` mux envelope otherwise.
+    pub fn queue_for(&mut self, sid: Option<u64>, msg: ClientMsg) {
+        match sid {
+            None => self.queue_msg(&msg),
+            Some(sid) => {
+                let frame = ClientFrame {
+                    sid: Some(sid),
+                    msg,
+                };
+                match self.format {
+                    WireFormat::Ndjson => {
+                        self.wbuf.extend_from_slice(encode(&frame).as_bytes());
+                        self.wbuf.push(b'\n');
+                    }
+                    WireFormat::Binary => framing::write_frame(&frame, &mut self.wbuf),
+                }
+            }
         }
     }
 
@@ -143,6 +165,51 @@ impl Client {
                 continue;
             }
             return decode_server(text).map_err(|e| bad_data(e.to_string()));
+        }
+    }
+
+    /// Read the next server message *with its mux envelope*: `sid` is
+    /// `None` for a bare response, `Some` when the server tagged it for a
+    /// logical session. Framing is auto-detected per message, like
+    /// [`Client::recv`].
+    pub fn recv_frame(&mut self) -> std::io::Result<ServerFrame> {
+        loop {
+            let first = {
+                let buf = self.reader.fill_buf()?;
+                if buf.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                buf[0]
+            };
+            if first == FRAME_MAGIC {
+                let mut header = [0u8; framing::FRAME_HEADER_LEN];
+                self.reader.read_exact(&mut header)?;
+                let len = u32::from_le_bytes(header[1..].try_into().unwrap()) as usize;
+                if len > framing::MAX_FRAME_PAYLOAD {
+                    return Err(bad_data(FrameError::Oversized { len }.to_string()));
+                }
+                let mut payload = vec![0u8; len];
+                self.reader.read_exact(&mut payload)?;
+                let content =
+                    framing::decode_payload(&payload).map_err(|e| bad_data(e.to_string()))?;
+                return serde::Deserialize::from_content(&content)
+                    .map_err(|e: serde::Error| bad_data(e.to_string()));
+            }
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            return decode_server_frame(text).map_err(|e| bad_data(e.to_string()));
         }
     }
 
@@ -319,6 +386,7 @@ pub fn replay_scenario(
         platforms: instance.platform_names.clone(),
         max_value: instance.max_value(),
         frame: Some(options.frame.as_str().to_string()),
+        origin: None,
     });
     let (response, mut busy) = client.rpc(&hello)?;
     match response {

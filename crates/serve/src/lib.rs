@@ -14,10 +14,15 @@
 //! * [`session`] — one client's [`com_core::MatchSession`] plus the event
 //!   log needed to audit the finished run with `validate_run`.
 //! * [`server`] — the threaded TCP server behind the `matchd` binary:
-//!   per-connection reader + session threads, a bounded ingress queue
-//!   with `busy` backpressure, graceful drain-and-audit teardown.
-//! * [`client`] — the protocol client and the lockstep scenario [`replay`]
-//!   loop behind the `matchload` binary.
+//!   per-connection router threads decoding and dispatching to the shard
+//!   pool, bounded per-shard ingress queues with `busy` backpressure,
+//!   graceful drain-and-audit teardown in stable session-id order.
+//! * [`shard`] — the shared-nothing shard executors that own the logical
+//!   sessions, plus the deterministic session→shard [`Placement`] rules
+//!   (stable hash, or `com-geo` grid cells).
+//! * [`client`] — the protocol client, the lockstep scenario [`replay`]
+//!   loop, and the multi-connection mux driver ([`loadgen`]) behind the
+//!   `matchload` binary.
 //! * [`trace`] — the flight-recorder session trace (schema v1): one JSONL
 //!   file per recorded session, written by `matchd --record`.
 //! * [`replay`] — deterministic trace re-execution behind the
@@ -29,10 +34,12 @@
 
 pub mod client;
 pub mod framing;
+pub mod loadgen;
 pub mod protocol;
 pub mod replay;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod trace;
 
 pub use client::{replay_scenario, Client, ReplayOptions, ReplayReport};
@@ -40,13 +47,16 @@ pub use framing::{
     decode_msg, decode_payload, encode_frame, write_frame, FrameError, WireFormat, FRAME_MAGIC,
     MAX_FRAME_PAYLOAD, MAX_LINE_BYTES,
 };
+pub use loadgen::{drive_multi, MultiOptions, MultiReport, SessionOutcome};
 pub use protocol::{
-    decode_client, decode_server, encode, ByeMsg, ClientMsg, CounterRow, DecodeError, DeepStatsMsg,
-    ErrorMsg, GaugeRow, Hello, PhaseRow, ServerMsg, StatsMsg, WorkerMsg,
+    decode_client, decode_client_frame, decode_server, decode_server_frame, encode, ByeMsg,
+    ClientFrame, ClientMsg, CounterRow, DecodeError, DeepStatsMsg, ErrorMsg, GaugeRow, Hello,
+    PhaseRow, ServerFrame, ServerMsg, ShardRow, StatsMsg, WorkerMsg,
 };
 pub use replay::{
     read_trace, record_session, replay_trace, Divergence, TraceReplayOptions, TraceReplayReport,
 };
 pub use server::{serve, QueueStats, ServerConfig, ServerCounters, ServerHandle};
 pub use session::{FinishedSession, ServeSession};
+pub use shard::{Placement, ShardStats, DEFAULT_GRID_CELL};
 pub use trace::{TraceLine, TraceRecorder, TRACE_VERSION};

@@ -1,0 +1,443 @@
+//! The multi-connection, multi-session mux driver behind
+//! `matchload --connections M --sessions K`.
+//!
+//! [`drive_multi`] opens `connections` sockets to one `matchd` and drives
+//! `sessions` logical sessions over them (session `sid` rides connection
+//! `sid % connections`), all multiplexed through the `{"sid":…,"msg":…}`
+//! envelope. Every session replays the *same* instance with its own seed
+//! (`base_seed + sid`), so each session's `bye` is independently
+//! verifiable against a local batch run — the full-scale city experiment
+//! is exactly this driver at 10× quick scale.
+//!
+//! The event loop interleaves sessions in lockstep — event *i* of every
+//! session on a connection is sent before event *i+1* of any — which is
+//! the adversarial pattern for the server's mux routing: consecutive
+//! wire messages almost always address different sids, and under
+//! multi-shard placement, different shard queues. Responses arrive
+//! tagged, in per-sid order but interleaved arbitrarily *across* sids
+//! (shards drain independently), so each in-flight message is matched to
+//! its session by the envelope's sid, never by global position. The
+//! in-flight window is shared across a connection's sessions and far
+//! below the server's per-shard queue capacity, so `busy` is a hard
+//! error, as in the single-session pipelined driver.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use com_obs::Histogram;
+use com_sim::{ArrivalEvent, Instance};
+
+use crate::client::Client;
+use crate::framing::WireFormat;
+use crate::protocol::{ByeMsg, ClientMsg, DeepStatsMsg, Hello, ServerMsg, WorkerMsg};
+
+/// Tuning for [`drive_multi`].
+#[derive(Debug, Clone)]
+pub struct MultiOptions {
+    /// Matcher spec string (see `com_core::MatcherRegistry`).
+    pub matcher: String,
+    /// Session `sid` runs with seed `base_seed + sid`.
+    pub base_seed: u64,
+    /// TCP connections to open (all up front, before any traffic).
+    pub connections: usize,
+    /// Logical sessions to multiplex across those connections.
+    pub sessions: usize,
+    /// Wire framing to request in every `hello`.
+    pub frame: WireFormat,
+    /// Max in-flight messages per connection (shared across its sids).
+    pub window: usize,
+    /// Target send rate in event-rows/second per connection (one row =
+    /// one event to each of the connection's sids); `0.0` = unpaced.
+    pub rate_hz: f64,
+}
+
+impl Default for MultiOptions {
+    fn default() -> Self {
+        MultiOptions {
+            matcher: "demcom".into(),
+            base_seed: 42,
+            connections: 1,
+            sessions: 1,
+            frame: WireFormat::Ndjson,
+            window: 32,
+            rate_hz: 0.0,
+        }
+    }
+}
+
+/// One logical session's outcome.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    pub sid: u64,
+    pub seed: u64,
+    /// Which connection carried it.
+    pub connection: usize,
+    pub assigned: usize,
+    pub rejected: usize,
+    pub refused: usize,
+    /// The server's final report for this session (canonical run JSON and
+    /// digest included).
+    pub bye: ByeMsg,
+}
+
+/// What [`drive_multi`] measured, aggregated across connections.
+#[derive(Debug)]
+pub struct MultiReport {
+    /// Per-session outcomes, sorted by sid.
+    pub sessions: Vec<SessionOutcome>,
+    /// Total events delivered (events per session × sessions).
+    pub events: usize,
+    pub busy: u64,
+    /// Slowest connection's event-streaming wall time (all connections
+    /// run concurrently, so aggregate throughput is `events / wall`).
+    pub wall_secs: f64,
+    /// Request round-trips across every session, merged.
+    pub request_rtt_ns: Histogram,
+    /// Deep server telemetry fetched over connection 0 just before
+    /// teardown — carries the per-shard rows.
+    pub deep_stats: Option<DeepStatsMsg>,
+}
+
+impl MultiReport {
+    /// Aggregate events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / self.wall_secs
+    }
+}
+
+fn bad_data(detail: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail)
+}
+
+enum Pending {
+    Worker,
+    Request { sent: Instant },
+}
+
+/// Per-session client-side tallies while the stream is in flight.
+struct SessionState {
+    sid: u64,
+    pending: VecDeque<Pending>,
+    assigned: usize,
+    rejected: usize,
+    refused: usize,
+}
+
+struct ConnOutcome {
+    sessions: Vec<SessionOutcome>,
+    busy: u64,
+    wall_secs: f64,
+    request_rtt_ns: Histogram,
+    deep_stats: Option<DeepStatsMsg>,
+}
+
+/// Drive `options.sessions` mux sessions over `options.connections`
+/// connections, all replaying `instance`. Connections are opened up
+/// front so a `--once` server sees every socket before any session
+/// finishes.
+pub fn drive_multi(
+    addr: &str,
+    instance: &Instance,
+    options: &MultiOptions,
+) -> std::io::Result<MultiReport> {
+    let sessions = options.sessions.max(1);
+    // Never more connections than sessions — an idle connection would
+    // have no sid to fetch teardown stats over.
+    let connections = options.connections.clamp(1, sessions);
+    let mut clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        clients.push(Client::connect(addr)?);
+    }
+    let outcomes: Vec<std::io::Result<ConnOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(conn, client)| {
+                let sids: Vec<u64> = (0..sessions as u64)
+                    .filter(|sid| *sid as usize % connections == conn)
+                    .collect();
+                scope.spawn(move || drive_connection(client, conn, sids, instance, options))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(bad_data("connection driver panicked".into())),
+            })
+            .collect()
+    });
+
+    let mut report = MultiReport {
+        sessions: Vec::with_capacity(sessions),
+        events: 0,
+        busy: 0,
+        wall_secs: 0.0,
+        request_rtt_ns: Histogram::new(),
+        deep_stats: None,
+    };
+    for (conn, outcome) in outcomes.into_iter().enumerate() {
+        let outcome = outcome?;
+        report.busy += outcome.busy;
+        report.wall_secs = report.wall_secs.max(outcome.wall_secs);
+        report.request_rtt_ns.merge(&outcome.request_rtt_ns);
+        if conn == 0 {
+            report.deep_stats = outcome.deep_stats;
+        }
+        report.sessions.extend(outcome.sessions);
+    }
+    report.events = instance.stream.len() * sessions;
+    report.sessions.sort_by_key(|s| s.sid);
+    Ok(report)
+}
+
+/// Drive one connection's sids through the whole instance.
+fn drive_connection(
+    mut client: Client,
+    conn: usize,
+    sids: Vec<u64>,
+    instance: &Instance,
+    options: &MultiOptions,
+) -> std::io::Result<ConnOutcome> {
+    // Open every session: queue all hellos, flush once, then match the
+    // welcomes by sid — across shards there is no cross-sid ordering
+    // guarantee.
+    for &sid in &sids {
+        client.queue_for(
+            Some(sid),
+            ClientMsg::hello(Hello {
+                matcher: options.matcher.clone(),
+                seed: options.base_seed + sid,
+                world: instance.config.clone(),
+                platforms: instance.platform_names.clone(),
+                max_value: instance.max_value(),
+                frame: Some(options.frame.as_str().to_string()),
+                origin: None,
+            }),
+        );
+    }
+    client.flush()?;
+    let mut awaiting: std::collections::HashSet<u64> = sids.iter().copied().collect();
+    let mut binary_echoed = true;
+    while !awaiting.is_empty() {
+        let frame = client.recv_frame()?;
+        let sid = frame
+            .sid
+            .filter(|s| awaiting.contains(s))
+            .ok_or_else(|| bad_data(format!("welcome for unexpected session: {frame:?}")))?;
+        match frame.msg {
+            ServerMsg::welcome { frame: echoed, .. } => {
+                if echoed.as_deref().and_then(WireFormat::parse) != Some(WireFormat::Binary) {
+                    binary_echoed = false;
+                }
+            }
+            ServerMsg::error(e) => {
+                return Err(bad_data(format!(
+                    "hello sid {sid} refused: {}: {}",
+                    e.code, e.detail
+                )))
+            }
+            other => return Err(bad_data(format!("unexpected hello response: {other:?}"))),
+        }
+        awaiting.remove(&sid);
+    }
+    if options.frame == WireFormat::Binary && binary_echoed {
+        client.set_format(WireFormat::Binary);
+    }
+
+    let mut states: Vec<SessionState> = sids
+        .iter()
+        .map(|&sid| SessionState {
+            sid,
+            pending: VecDeque::new(),
+            assigned: 0,
+            rejected: 0,
+            refused: 0,
+        })
+        .collect();
+    let by_sid: HashMap<u64, usize> = sids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let window = options.window.max(1);
+    let mut in_flight = 0usize;
+    let mut request_rtt_ns = Histogram::new();
+    let period = (options.rate_hz > 0.0).then(|| Duration::from_secs_f64(1.0 / options.rate_hz));
+    let started = Instant::now();
+
+    for (i, event) in instance.stream.iter().enumerate() {
+        if let Some(period) = period {
+            let due = started + period * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        // Lockstep across sessions: one wire message per sid per event
+        // row, so consecutive messages nearly always address different
+        // sids (and, sharded, different shard queues).
+        for state in states.iter_mut() {
+            match event {
+                ArrivalEvent::Worker(spec) => {
+                    client.queue_for(
+                        Some(state.sid),
+                        ClientMsg::worker(WorkerMsg {
+                            spec: *spec,
+                            history: instance.histories.get(&spec.id).cloned(),
+                        }),
+                    );
+                    state.pending.push_back(Pending::Worker);
+                }
+                ArrivalEvent::Request(spec) => {
+                    client.queue_for(Some(state.sid), ClientMsg::request(*spec));
+                    state.pending.push_back(Pending::Request {
+                        sent: Instant::now(),
+                    });
+                }
+            }
+            in_flight += 1;
+        }
+        if in_flight >= window {
+            client.flush()?;
+            while in_flight > window / 2 {
+                drain_one(&mut client, &mut states, &by_sid, &mut request_rtt_ns)?;
+                in_flight -= 1;
+            }
+        }
+    }
+    client.flush()?;
+    while in_flight > 0 {
+        drain_one(&mut client, &mut states, &by_sid, &mut request_rtt_ns)?;
+        in_flight -= 1;
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Teardown is strict request-response per sid (nothing else is in
+    // flight), so `busy` here is survivable by resending.
+    let mut busy = 0u64;
+    let deep_stats = if conn == 0 {
+        match mux_rpc(&mut client, sids[0], &ClientMsg::stats_deep, &mut busy)? {
+            ServerMsg::stats_deep(deep) => Some(*deep),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let mut sessions = Vec::with_capacity(states.len());
+    for state in states {
+        let response = mux_rpc(&mut client, state.sid, &ClientMsg::shutdown, &mut busy)?;
+        let ServerMsg::bye(bye) = response else {
+            return Err(bad_data(format!(
+                "unexpected shutdown response for sid {}: {response:?}",
+                state.sid
+            )));
+        };
+        sessions.push(SessionOutcome {
+            sid: state.sid,
+            seed: options.base_seed + state.sid,
+            connection: conn,
+            assigned: state.assigned,
+            rejected: state.rejected,
+            refused: state.refused,
+            bye,
+        });
+    }
+    Ok(ConnOutcome {
+        sessions,
+        busy,
+        wall_secs,
+        request_rtt_ns,
+        deep_stats,
+    })
+}
+
+/// Receive one tagged response and match it to its session's oldest
+/// in-flight message.
+fn drain_one(
+    client: &mut Client,
+    states: &mut [SessionState],
+    by_sid: &HashMap<u64, usize>,
+    request_rtt_ns: &mut Histogram,
+) -> std::io::Result<()> {
+    let frame = client.recv_frame()?;
+    let state = frame
+        .sid
+        .and_then(|s| by_sid.get(&s))
+        .map(|&i| &mut states[i])
+        .ok_or_else(|| bad_data(format!("response for unknown session: {frame:?}")))?;
+    if matches!(frame.msg, ServerMsg::busy) {
+        // A shard dropped a pipelined message; per-sid matching is broken
+        // and a silent resend would desynchronise the session's stream.
+        return Err(bad_data(format!(
+            "server answered busy for sid {} while pipelining — lower --window below \
+             the server's shard queue capacity",
+            state.sid
+        )));
+    }
+    let slot = state.pending.pop_front().ok_or_else(|| {
+        bad_data(format!(
+            "response for sid {} with nothing in flight: {:?}",
+            state.sid, frame.msg
+        ))
+    })?;
+    match (slot, frame.msg) {
+        (Pending::Worker, ServerMsg::ok) => Ok(()),
+        (Pending::Worker, ServerMsg::error(e)) => Err(bad_data(format!(
+            "worker refused on sid {}: {}: {}",
+            state.sid, e.code, e.detail
+        ))),
+        (Pending::Request { sent }, response) => {
+            request_rtt_ns.record(sent.elapsed().as_nanos() as u64);
+            match response {
+                ServerMsg::assign(_) => state.assigned += 1,
+                ServerMsg::reject(_) => state.rejected += 1,
+                ServerMsg::timeout { .. } => state.refused += 1,
+                ServerMsg::error(e) => {
+                    return Err(bad_data(format!(
+                        "request refused on sid {}: {}: {}",
+                        state.sid, e.code, e.detail
+                    )))
+                }
+                other => {
+                    return Err(bad_data(format!(
+                        "unexpected request response on sid {}: {other:?}",
+                        state.sid
+                    )))
+                }
+            }
+            Ok(())
+        }
+        (Pending::Worker, other) => Err(bad_data(format!(
+            "unexpected worker response on sid {}: {other:?}",
+            state.sid
+        ))),
+    }
+}
+
+/// Strict mux request-response against one sid: send, then read frames
+/// until this sid answers (responses for *other* sids here would mean a
+/// protocol bug — nothing else is in flight). `busy` backs off and
+/// resends.
+fn mux_rpc(
+    client: &mut Client,
+    sid: u64,
+    msg: &ClientMsg,
+    busy: &mut u64,
+) -> std::io::Result<ServerMsg> {
+    loop {
+        client.queue_for(Some(sid), msg.clone());
+        client.flush()?;
+        let frame = client.recv_frame()?;
+        if frame.sid != Some(sid) {
+            return Err(bad_data(format!(
+                "expected response for sid {sid}, got {frame:?}"
+            )));
+        }
+        match frame.msg {
+            ServerMsg::busy => {
+                *busy += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            response => return Ok(response),
+        }
+    }
+}

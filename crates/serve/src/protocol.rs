@@ -16,18 +16,34 @@
 //! | `"stats_deep"`                        | `{"stats_deep": {...}}`                 |
 //! | `"shutdown"`                          | `{"bye": {...}}`, then close            |
 //!
-//! In addition the server may emit `"busy"` *out of band* whenever its
-//! bounded ingress queue is full: the offending line was **dropped**
-//! (never queued, never answered) and the per-server drop counter
-//! incremented. A client that receives `busy` should back off and resend.
-//! Closing the connection without `shutdown` still finishes and audits
-//! the session server-side; the `bye` is simply unreceivable.
+//! In addition the server may emit `"busy"` *out of band* whenever the
+//! addressed shard's bounded ingress queue is full: the offending line
+//! was **dropped** (never queued, never answered) and the per-server drop
+//! counter incremented. A client that receives `busy` should back off and
+//! resend. Closing the connection without `shutdown` still finishes and
+//! audits every open session server-side; the `bye`s are simply
+//! unreceivable.
+//!
+//! ## Session multiplexing
+//!
+//! A bare message addresses the connection's single *legacy* session —
+//! the original one-session-per-connection protocol, unchanged. A message
+//! wrapped in the **mux envelope** `{"sid": N, "msg": <message>}`
+//! addresses logical session `N` instead, and its response comes back in
+//! the same envelope, so one connection can interleave hundreds of
+//! concurrent sessions: each `{"sid":N,"msg":{"hello":…}}` opens an
+//! independent session (routed to a shard by deterministic placement, see
+//! [`crate::shard`]), responses stay strictly ordered *per sid*, and
+//! `shutdown` closes one logical session without touching the connection
+//! or its other sessions. Mux-specific error codes: `unknown-sid` (no
+//! open session with that sid) and `duplicate-hello` (the sid is live).
 //!
 //! `timeout` is the engine-refused outcome: the matcher's decision
 //! breached a COM constraint (worker busy/out of range/bad payment), so
 //! the platform lets the request time out unserved. The request is logged
 //! as rejected — exactly `try_run_online`'s lenient semantics.
 
+use serde::content::Content;
 use serde::{Deserialize, Serialize};
 
 use com_pricing::WorkerHistory;
@@ -55,6 +71,12 @@ pub struct Hello {
     /// and the missing echo in `welcome` downgrades the client safely.
     #[serde(default)]
     pub frame: Option<String>,
+    /// Session anchor point for grid placement (`matchd --placement
+    /// grid`): the session is pinned to the shard owning the grid cell
+    /// this point falls in. Absent (or under hash placement) the session
+    /// is placed by stable hash of its session key instead.
+    #[serde(default)]
+    pub origin: Option<com_geo::Point>,
 }
 
 /// A worker arrival, optionally carrying the worker's acceptance history
@@ -88,7 +110,7 @@ pub enum ClientMsg {
 
 /// A structured protocol error. `code` is machine-matchable:
 /// `bad-json`, `bad-frame`, `unknown-message`, `no-session`,
-/// `duplicate-hello`, `unknown-matcher`, `constraint`,
+/// `unknown-sid`, `duplicate-hello`, `unknown-matcher`, `constraint`,
 /// `oversized-line`, `oversized-frame`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorMsg {
@@ -160,6 +182,27 @@ pub struct GaugeRow {
     pub max: f64,
 }
 
+/// One row of the per-shard health table carried by `stats_deep`: the
+/// serving load one shard executor has seen over its life. Queue numbers
+/// are the shard's bounded ingress channel, not any single connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardRow {
+    /// Shard index, `0..shards`.
+    pub shard: u64,
+    /// Logical sessions the shard owns right now.
+    pub sessions: u64,
+    /// Logical sessions ever placed on the shard.
+    pub sessions_total: u64,
+    /// Messages routed into the shard's ingress channel.
+    pub events_routed: u64,
+    /// Messages sitting in the shard's ingress channel right now.
+    pub queue_depth: u64,
+    /// Deepest the shard's ingress channel has been.
+    pub queue_high_water: u64,
+    /// Messages dropped with `busy` because the channel was full.
+    pub busy_dropped: u64,
+}
+
 /// Deep telemetry snapshot (`stats_deep` response): the plain [`StatsMsg`]
 /// counters plus the live session's full phase/counter/gauge tables and
 /// the ingress-queue health of this connection.
@@ -182,6 +225,14 @@ pub struct DeepStatsMsg {
     /// so reports from pre-framing servers still parse.
     #[serde(default)]
     pub oversized_rejected: u64,
+    /// The shard executor that owns the queried session. Absent in
+    /// reports from pre-shard servers.
+    #[serde(default)]
+    pub shard: Option<u64>,
+    /// Server-wide per-shard health table, one [`ShardRow`] per shard in
+    /// shard-index order. Empty in reports from pre-shard servers.
+    #[serde(default)]
+    pub shards: Vec<ShardRow>,
 }
 
 impl DeepStatsMsg {
@@ -227,6 +278,12 @@ pub struct ByeMsg {
     pub refused: u64,
     pub audit_findings: Vec<String>,
     pub canonical: serde_json::Value,
+    /// `com_bench::runner::canonical_run_digest` over `canonical`: a
+    /// compact fingerprint matching the trace `finish` line, so a client
+    /// can check run identity without re-serializing the projection.
+    /// `#[serde(default)]` (empty) when talking to a pre-shard server.
+    #[serde(default)]
+    pub digest: String,
 }
 
 /// Server → client messages.
@@ -307,6 +364,101 @@ pub fn decode_server(line: &str) -> Result<ServerMsg, DecodeError> {
     decode(line)
 }
 
+/// A client message with its mux address: `sid: None` is a bare (legacy)
+/// message, `sid: Some(n)` the envelope `{"sid":n,"msg":<message>}`.
+///
+/// The envelope is hand-rolled (not derived) because it *flattens away*
+/// when `sid` is absent — a bare frame serializes as the inner message
+/// itself, so legacy peers round-trip unchanged. Discrimination on decode
+/// is unambiguous: protocol messages are externally tagged single-key
+/// objects (or bare strings) and no tag is named `sid`, so a top-level
+/// `"sid"` key can only be the envelope.
+#[derive(Debug, Clone)]
+pub struct ClientFrame {
+    pub sid: Option<u64>,
+    pub msg: ClientMsg,
+}
+
+/// A server message with its mux address (see [`ClientFrame`]).
+#[derive(Debug, Clone)]
+pub struct ServerFrame {
+    pub sid: Option<u64>,
+    pub msg: ServerMsg,
+}
+
+fn frame_to_content<T: Serialize>(sid: Option<u64>, msg: &T) -> Content {
+    match sid {
+        None => msg.to_content(),
+        Some(sid) => Content::Map(vec![
+            (Content::Str("sid".to_string()), Content::U64(sid)),
+            (Content::Str("msg".to_string()), msg.to_content()),
+        ]),
+    }
+}
+
+/// Split a decoded value into its mux address and inner message content.
+/// Returns `Err` when the value has a `sid` but it is not a non-negative
+/// integer, or the envelope is missing `msg`.
+fn split_envelope(value: &Content) -> Result<(Option<u64>, &Content), String> {
+    let Content::Map(map) = value else {
+        return Ok((None, value));
+    };
+    let Some(sid) = Content::find(map, "sid") else {
+        return Ok((None, value));
+    };
+    let Content::U64(sid) = sid else {
+        return Err(format!(
+            "mux envelope sid must be a non-negative integer, got {sid:?}"
+        ));
+    };
+    let Some(msg) = Content::find(map, "msg") else {
+        return Err("mux envelope has sid but no msg".to_string());
+    };
+    Ok((Some(*sid), msg))
+}
+
+impl Serialize for ClientFrame {
+    fn to_content(&self) -> Content {
+        frame_to_content(self.sid, &self.msg)
+    }
+}
+
+impl Deserialize for ClientFrame {
+    fn from_content(c: &Content) -> Result<Self, serde::de::Error> {
+        let (sid, msg) = split_envelope(c).map_err(serde::de::Error::custom)?;
+        Ok(ClientFrame {
+            sid,
+            msg: ClientMsg::from_content(msg)?,
+        })
+    }
+}
+
+impl Serialize for ServerFrame {
+    fn to_content(&self) -> Content {
+        frame_to_content(self.sid, &self.msg)
+    }
+}
+
+impl Deserialize for ServerFrame {
+    fn from_content(c: &Content) -> Result<Self, serde::de::Error> {
+        let (sid, msg) = split_envelope(c).map_err(serde::de::Error::custom)?;
+        Ok(ServerFrame {
+            sid,
+            msg: ServerMsg::from_content(msg)?,
+        })
+    }
+}
+
+/// Parse one client line, mux envelope or bare.
+pub fn decode_client_frame(line: &str) -> Result<ClientFrame, DecodeError> {
+    decode(line)
+}
+
+/// Parse one server line, mux envelope or bare.
+pub fn decode_server_frame(line: &str) -> Result<ServerFrame, DecodeError> {
+    decode(line)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +520,7 @@ mod tests {
             platforms: vec!["A".into(), "B".into()],
             max_value: Some(30.0),
             frame: None,
+            origin: None,
         });
         let back = decode_client(&encode(&hello)).unwrap();
         let ClientMsg::hello(h) = back else {
@@ -414,6 +567,16 @@ mod tests {
             queue_high_water: 7,
             busy_dropped: 0,
             oversized_rejected: 0,
+            shard: Some(2),
+            shards: vec![ShardRow {
+                shard: 0,
+                sessions: 3,
+                sessions_total: 5,
+                events_routed: 100,
+                queue_depth: 0,
+                queue_high_water: 4,
+                busy_dropped: 1,
+            }],
         };
         deep.set_telemetry(&telemetry);
         assert_eq!(deep.algorithm, "DemCOM");
@@ -428,6 +591,79 @@ mod tests {
         assert_eq!(d.counters[0].value, 3);
         assert_eq!(d.gauges[0].max, 7.0);
         assert_eq!(d.queue_high_water, 7);
+        assert_eq!(d.shard, Some(2));
+        assert_eq!(d.shards.len(), 1);
+        assert_eq!(d.shards[0].queue_high_water, 4);
         assert_eq!(encode(&ClientMsg::stats_deep), "\"stats_deep\"");
+    }
+
+    #[test]
+    fn bare_frames_serialize_as_the_inner_message() {
+        let frame = ClientFrame {
+            sid: None,
+            msg: ClientMsg::stats,
+        };
+        assert_eq!(encode(&frame), encode(&ClientMsg::stats));
+        let back = decode_client_frame("\"stats\"").unwrap();
+        assert_eq!(back.sid, None);
+        assert!(matches!(back.msg, ClientMsg::stats));
+        // A bare map message decodes as a bare frame too.
+        let back = decode_client_frame("{\"tick\":{\"to\":4.5}}").unwrap();
+        assert_eq!(back.sid, None);
+        assert!(matches!(back.msg, ClientMsg::tick { .. }));
+    }
+
+    #[test]
+    fn mux_frames_round_trip_with_sid() {
+        let frame = ClientFrame {
+            sid: Some(17),
+            msg: ClientMsg::tick { to: 2.5 },
+        };
+        let line = encode(&frame);
+        assert_eq!(line, "{\"sid\":17,\"msg\":{\"tick\":{\"to\":2.5}}}");
+        let back = decode_client_frame(&line).unwrap();
+        assert_eq!(back.sid, Some(17));
+        assert!(matches!(back.msg, ClientMsg::tick { to } if to == 2.5));
+
+        let reply = ServerFrame {
+            sid: Some(17),
+            msg: ServerMsg::ok,
+        };
+        let line = encode(&reply);
+        assert_eq!(line, "{\"sid\":17,\"msg\":\"ok\"}");
+        let back = decode_server_frame(&line).unwrap();
+        assert_eq!(back.sid, Some(17));
+        assert!(matches!(back.msg, ServerMsg::ok));
+    }
+
+    #[test]
+    fn malformed_envelopes_are_typed_errors() {
+        // sid without msg
+        assert!(matches!(
+            decode_client_frame("{\"sid\":3}"),
+            Err(DecodeError::UnknownMessage(_))
+        ));
+        // non-integer sid
+        assert!(matches!(
+            decode_client_frame("{\"sid\":\"x\",\"msg\":\"stats\"}"),
+            Err(DecodeError::UnknownMessage(_))
+        ));
+        // envelope with a non-message payload
+        assert!(matches!(
+            decode_client_frame("{\"sid\":3,\"msg\":{\"frobnicate\":1}}"),
+            Err(DecodeError::UnknownMessage(_))
+        ));
+    }
+
+    #[test]
+    fn bye_digest_defaults_for_old_servers() {
+        let line = "{\"bye\":{\"algorithm\":\"DemCOM\",\"revenue\":1.5,\"completed\":1,\
+                    \"cooperative\":0,\"events\":2,\"refused\":0,\"audit_findings\":[],\
+                    \"canonical\":null}}";
+        let back = decode_server(line).unwrap();
+        let ServerMsg::bye(b) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(b.digest, "");
     }
 }

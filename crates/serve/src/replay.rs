@@ -188,6 +188,7 @@ pub fn replay_trace(
         platforms: meta.platforms.clone(),
         max_value: meta.max_value,
         frame: meta.frame.clone(),
+        origin: None,
     };
     let mut session = ServeSession::open(&hello)?;
     let mut divergences = Vec::new();
@@ -322,11 +323,12 @@ pub fn record_session(
         platforms: instance.platform_names.clone(),
         max_value: instance.max_value(),
         frame: None,
+        origin: None,
     };
     let mut session = ServeSession::open(&hello)?;
     let recorder = TraceRecorder::create(path)
         .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?;
-    session.attach_recorder(recorder, &hello, "matchreplay");
+    session.attach_recorder(recorder, &hello, "matchreplay", None, None);
     for event in instance.stream.iter() {
         match event {
             ArrivalEvent::Worker(spec) => session

@@ -1,47 +1,57 @@
 //! The threaded TCP server behind `matchd`.
 //!
-//! One accept thread polls a non-blocking listener; each connection gets
-//! a **reader thread** (socket → bounded ingress queue) and a **session
-//! thread** (queue → [`ServeSession`] → responses). The queue is a
-//! `std::sync::mpsc::sync_channel` with fixed capacity: when it is full
-//! the reader *drops* the line, replies `"busy"` out of band, and bumps
-//! the server-wide drop counter — ingress never grows unboundedly no
-//! matter how fast the client floods.
+//! Since the shard rework the server is **shared-nothing**: one accept
+//! thread polls a non-blocking listener; each connection gets a **router
+//! thread** (socket → decode → shard dispatch) and sessions execute on a
+//! fixed pool of **shard worker threads** ([`crate::shard`]) that own
+//! their sessions outright. The router decodes each wire message (both
+//! framings, detected per message from the first byte), resolves the
+//! logical session it addresses — the `sid` of a mux envelope, or the
+//! connection's bare session — and hands the decoded message to that
+//! session's shard over a bounded `sync_channel`. When a shard's ingress
+//! queue is full the message is *dropped*, `busy` (sid-tagged) goes back
+//! out of band, and the server-wide drop counter bumps — ingress never
+//! grows unboundedly no matter how fast clients flood.
 //!
 //! Teardown is always graceful: a protocol `shutdown`, a client
-//! disconnect, or [`ServerHandle::shutdown`] all drain the session
-//! through [`ServeSession::finish`] — the run is closed, audited with
-//! `com_core::validate_run`, and (when the socket still exists) reported
-//! in a `bye`. Reader threads poll a stop flag on a read timeout, so
-//! every thread joins; nothing is detached.
+//! disconnect, or [`ServerHandle::shutdown`] all drain each logical
+//! session through [`crate::session::ServeSession::finish`] — the run is
+//! closed, audited with `com_core::validate_run`, and (when the socket
+//! still exists) reported in a `bye`. On disconnect the router broadcasts
+//! a close to every shard and collects one report per logical session,
+//! sorted by session id so `--stats` output is reproducible however many
+//! shards the sessions were spread across. Router threads poll a stop
+//! flag on a read timeout, so every thread joins; nothing is detached.
 //!
-//! The reader speaks both wire framings at once, detecting each incoming
-//! message from its first byte (`framing::FRAME_MAGIC` = binary frame,
-//! anything else = NDJSON line), and both inputs are capped: a line
-//! longer than [`framing::MAX_LINE_BYTES`] or a frame payload larger
-//! than [`framing::MAX_FRAME_PAYLOAD`] is answered with a typed error,
-//! counted in [`QueueStats::oversized`], and discarded without ever
-//! buffering the oversized bytes. Responses are batched: the session
-//! thread queues encoded replies into the shared writer and flushes only
-//! when the ingress queue runs dry (or at teardown), so a burst of
+//! Input caps are enforced before decoding: a line longer than
+//! [`framing::MAX_LINE_BYTES`] or a frame payload larger than
+//! [`framing::MAX_FRAME_PAYLOAD`] is answered with a typed error, counted
+//! per connection, and discarded without ever buffering the oversized
+//! bytes. Responses are batched: shards queue encoded replies into each
+//! connection's shared writer and flush only when their ingress queue
+//! runs dry (or the buffer crosses its threshold), so a burst of
 //! pipelined client messages costs one write syscall, not one per
 //! decision.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use serde::content::Content;
+use serde::Serialize;
 
 use crate::framing::{
     self, split_frame, write_frame, FrameSplit, WireFormat, FRAME_MAGIC, MAX_LINE_BYTES,
 };
-use crate::protocol::{decode_client, encode, ClientMsg, DecodeError, ErrorMsg, ServerMsg};
-use crate::session::ServeSession;
-use crate::trace::{sanitize_spec, TraceRecorder};
+use crate::protocol::{
+    decode_client_frame, encode, ClientFrame, ClientMsg, DecodeError, ErrorMsg, ServerMsg,
+};
+use crate::shard::{Placement, PoolShared, ShardPool};
 
 /// How long blocking points (socket reads, queue receives) wait before
 /// re-checking the stop flag. Bounds shutdown latency.
@@ -53,20 +63,29 @@ pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port (read it back from
     /// [`ServerHandle::addr`]).
     pub addr: String,
-    /// Ingress queue capacity per connection (lines buffered between the
-    /// reader and the session thread before `busy` kicks in).
+    /// Ingress queue capacity per shard (decoded messages buffered
+    /// between router threads and the shard executor before `busy` kicks
+    /// in).
     pub queue_capacity: usize,
-    /// Exit the accept loop after the first connection finishes (CI and
-    /// one-shot benchmarks).
+    /// Shard worker threads (each owns its sessions outright). Clamped to
+    /// at least 1.
+    pub shards: usize,
+    /// How fresh sessions are assigned to shards. Deterministic either
+    /// way; see [`Placement`].
+    pub placement: Placement,
+    /// Exit the accept loop once at least one connection was accepted and
+    /// all accepted connections have finished (CI and one-shot
+    /// benchmarks).
     pub once: bool,
-    /// Print a per-session ingest-latency summary to stderr at teardown.
+    /// Print a per-session ingest-latency summary to stderr when each
+    /// connection drains, in session-id order.
     pub print_stats: bool,
-    /// Flight recorder: write one session trace per connection into this
+    /// Flight recorder: write one trace per logical session into this
     /// directory (`matchd --record`). `None` = no recording.
     pub record_dir: Option<PathBuf>,
-    /// Install a per-session telemetry collector so `stats_deep` can
-    /// report the phase table. On by default; the collector is
-    /// thread-local and off the hot path when a session never asks.
+    /// Install a per-shard telemetry collector so `stats_deep` can report
+    /// the phase table. On by default; the collector is thread-local and
+    /// off the hot path when nobody asks.
     pub telemetry: bool,
 }
 
@@ -75,6 +94,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             queue_capacity: 1024,
+            shards: 1,
+            placement: Placement::Hash,
             once: false,
             print_stats: false,
             record_dir: None,
@@ -83,18 +104,17 @@ impl Default for ServerConfig {
     }
 }
 
-/// Per-connection ingress-queue health, shared between the reader thread
-/// (increments on enqueue) and the session thread (decrements on drain).
+/// Ingress-queue health for one shard, shared between router threads
+/// (increment on enqueue) and the shard executor (decrement on drain).
 /// `sync_channel` exposes no length, so the queue keeps its own.
 #[derive(Debug, Default)]
 pub struct QueueStats {
     depth: AtomicU64,
     high_water: AtomicU64,
-    oversized: AtomicU64,
 }
 
 impl QueueStats {
-    /// Lines queued right now.
+    /// Messages queued right now.
     pub fn depth(&self) -> u64 {
         self.depth.load(Ordering::Relaxed)
     }
@@ -104,23 +124,14 @@ impl QueueStats {
         self.high_water.load(Ordering::Relaxed)
     }
 
-    /// Oversized lines/frames rejected (and discarded) on this
-    /// connection.
-    pub fn oversized(&self) -> u64 {
-        self.oversized.load(Ordering::Relaxed)
-    }
-
-    fn on_oversized(&self) {
-        self.oversized.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn on_enqueue(&self) {
+    pub(crate) fn on_enqueue(&self) {
         let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
-    fn on_drain(&self) -> u64 {
-        // Saturating: EOF markers are not counted on enqueue.
+    pub(crate) fn on_drain(&self) -> u64 {
+        // Saturating: control messages (close, stop) are not counted on
+        // enqueue.
         self.depth
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
                 Some(d.saturating_sub(1))
@@ -136,9 +147,11 @@ impl QueueStats {
 pub struct ServerCounters {
     pub connections: AtomicU64,
     pub sessions_finished: AtomicU64,
-    /// Lines dropped by full ingress queues (busy responses sent).
+    /// Messages dropped by full shard ingress queues (busy responses
+    /// sent).
     pub dropped: AtomicU64,
-    /// Protocol errors answered (bad JSON, unknown message, …).
+    /// Protocol errors answered (bad JSON, unknown message, unknown sid,
+    /// …).
     pub protocol_errors: AtomicU64,
 }
 
@@ -206,7 +219,7 @@ impl Drop for ServerHandle {
 
 /// Bind and start serving. Returns once the listener is live; the accept
 /// loop runs on its own thread until [`ServerHandle::shutdown`] (or, with
-/// [`ServerConfig::once`], until the first connection completes).
+/// [`ServerConfig::once`], until every accepted connection completes).
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -234,7 +247,9 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
 ) {
+    let pool = ShardPool::start(&config, Arc::clone(&counters));
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted_any = false;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -242,126 +257,61 @@ fn accept_loop(
                 // nothing and its delayed-ACK interaction can stall a
                 // pipelined burst mid-window.
                 stream.set_nodelay(true).ok();
+                accepted_any = true;
                 let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed);
                 let stop = Arc::clone(&stop);
                 let counters = Arc::clone(&counters);
+                let shared = Arc::clone(&pool.shared);
                 let conf = config.clone();
-                let handle = std::thread::spawn(move || {
-                    handle_connection(stream, conf, conn_id, stop, counters)
-                });
-                if config.once {
-                    let _ = handle.join();
-                    break;
-                }
-                connections.push(handle);
+                connections.push(std::thread::spawn(move || {
+                    handle_connection(stream, conf, conn_id, stop, counters, shared)
+                }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL / 2);
             }
             Err(_) => break,
         }
-        // Reap finished connections so the vec stays bounded.
+        // Reap finished connections so the vec stays bounded. In `once`
+        // mode, exit when everything accepted so far has drained — a
+        // multi-connection client holds all its connections open until
+        // its last session says goodbye, so this cannot fire early.
         connections.retain(|h| !h.is_finished());
+        if config.once && accepted_any && connections.is_empty() {
+            break;
+        }
     }
     for handle in connections {
         let _ = handle.join();
     }
+    pool.stop();
 }
 
-/// What flows from the reader thread to the session thread.
-pub(crate) enum Ingress {
-    /// One NDJSON line (trimmed, non-empty, newline stripped).
-    Line(String),
-    /// One binary frame payload (header stripped, length already capped).
-    Frame(Vec<u8>),
-    /// The client closed (or broke) the connection.
-    Eof,
+/// Everything a shard needs to answer for a connection: identity, the
+/// shared writer, the per-connection oversized-rejection counter, and the
+/// `done` flag a bare-session `shutdown` uses to end the connection.
+#[derive(Clone)]
+pub(crate) struct ConnCtx {
+    pub(crate) conn_id: u64,
+    pub(crate) writer: SharedWriter,
+    pub(crate) oversized: Arc<AtomicU64>,
+    pub(crate) done: Arc<AtomicBool>,
 }
 
-/// The bounded reader→session queue with the busy/drop policy attached —
-/// split out so backpressure is deterministically unit-testable without
-/// sockets.
-pub struct IngressQueue {
-    tx: SyncSender<Ingress>,
-    writer: SharedWriter,
-    counters: Arc<ServerCounters>,
-    stats: Arc<QueueStats>,
-}
-
-impl IngressQueue {
-    /// Build a queue of `capacity` lines. Returns the push side and the
-    /// receive side; `stats` tracks live depth and its high-water mark.
-    pub(crate) fn new(
-        capacity: usize,
-        writer: SharedWriter,
-        counters: Arc<ServerCounters>,
-        stats: Arc<QueueStats>,
-    ) -> (Self, Receiver<Ingress>) {
-        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
-        (
-            IngressQueue {
-                tx,
-                writer,
-                counters,
-                stats,
-            },
-            rx,
-        )
-    }
-
-    /// Try to enqueue one line. When the queue is full the line is
-    /// dropped: the drop counter increments and `busy` is written to the
-    /// client. Returns `false` when the session side is gone.
-    pub(crate) fn push_line(&self, line: String) -> bool {
-        self.push(Ingress::Line(line))
-    }
-
-    /// Try to enqueue one binary frame payload; same busy/drop policy as
-    /// [`IngressQueue::push_line`].
-    pub(crate) fn push_frame(&self, payload: Vec<u8>) -> bool {
-        self.push(Ingress::Frame(payload))
-    }
-
-    fn push(&self, ingress: Ingress) -> bool {
-        match self.tx.try_send(ingress) {
-            Ok(()) => {
-                self.stats.on_enqueue();
-                true
-            }
-            Err(TrySendError::Full(_)) => {
-                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
-                self.writer.send(&ServerMsg::busy);
-                true
-            }
-            Err(TrySendError::Disconnected(_)) => false,
+impl ConnCtx {
+    fn new(conn_id: u64, writer: SharedWriter) -> ConnCtx {
+        ConnCtx {
+            conn_id,
+            writer,
+            oversized: Arc::new(AtomicU64::new(0)),
+            done: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// Reject an oversized line or frame from the reader thread: answer
-    /// with a typed error, count it, and let the reader discard the
-    /// bytes. The rejection is out of band (like `busy`) — the input was
-    /// never queued.
-    pub(crate) fn reject_oversized(&self, code: &str, detail: String) {
-        self.stats.on_oversized();
-        self.counters
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
-        self.writer.send(&error(code, detail));
-    }
-
-    /// Reject a line that can never decode (not UTF-8) without killing
-    /// the connection. Out of band, like [`IngressQueue::reject_oversized`].
-    pub(crate) fn reject_bad_line(&self, detail: String) {
-        self.counters
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
-        self.writer.send(&error("bad-json", detail));
-    }
-
-    /// Signal end-of-stream. Blocks until the session thread has room —
-    /// EOF must never be dropped, or the session would leak.
-    pub(crate) fn push_eof(&self) {
-        let _ = self.tx.send(Ingress::Eof);
+    /// Detached context for tests — writes go nowhere.
+    #[cfg(test)]
+    pub(crate) fn detached(conn_id: u64) -> ConnCtx {
+        ConnCtx::new(conn_id, SharedWriter::detached())
     }
 }
 
@@ -375,14 +325,30 @@ struct WriterState {
 }
 
 /// Flush eagerly once the pending buffer passes this size, even when the
-/// ingress queue is still busy — bounds writer memory under a client
-/// that streams without ever pausing.
+/// shard queue is still busy — bounds writer memory under a client that
+/// streams without ever pausing.
 const FLUSH_THRESHOLD: usize = 256 * 1024;
 
-/// A writer shared by the session thread (responses) and the reader
-/// thread (out-of-band `busy` / oversized rejections). Responses are
-/// *queued* into a buffer and flushed in batches; see
-/// [`SharedWriter::flush`].
+/// A server response wrapped in its mux envelope, serialized borrowed so
+/// tagging a response with its `sid` never clones the payload.
+struct Enveloped<'a> {
+    sid: u64,
+    msg: &'a ServerMsg,
+}
+
+impl Serialize for Enveloped<'_> {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            (Content::Str("sid".to_string()), Content::U64(self.sid)),
+            (Content::Str("msg".to_string()), self.msg.to_content()),
+        ])
+    }
+}
+
+/// A connection's writer, shared by its router thread (out-of-band
+/// `busy`, typed rejections) and every shard that owns one of its
+/// sessions (responses). Responses are *queued* into a buffer and flushed
+/// in batches; see [`SharedWriter::flush`].
 #[derive(Clone)]
 pub(crate) struct SharedWriter {
     inner: Arc<Mutex<WriterState>>,
@@ -409,10 +375,10 @@ impl SharedWriter {
     }
 
     /// Lock the writer, recovering a poisoned guard instead of cascading
-    /// the panic into every other connection thread. The state a writer
-    /// protects (a byte buffer and a stream) stays usable whatever the
-    /// panicking thread was doing; recovery is logged once per
-    /// connection as an audit finding.
+    /// the panic into every other thread. The state a writer protects (a
+    /// byte buffer and a stream) stays usable whatever the panicking
+    /// thread was doing; recovery is logged once per connection as an
+    /// audit finding.
     fn lock(&self) -> std::sync::MutexGuard<'_, WriterState> {
         self.inner.lock().unwrap_or_else(|poisoned| {
             if !self.poison_noted.swap(true, Ordering::Relaxed) {
@@ -432,12 +398,30 @@ impl SharedWriter {
 
     /// Switch the outgoing framing (after a successful negotiation). The
     /// already-queued bytes — the NDJSON `welcome` — are untouched.
-    fn set_format(&self, format: WireFormat) {
+    pub(crate) fn set_format(&self, format: WireFormat) {
         self.lock().format = format;
     }
 
+    /// Queue one response for the logical session `sid` addresses: bare
+    /// for `None`, wrapped in the `{"sid":…,"msg":…}` envelope otherwise.
+    pub(crate) fn queue_for(&self, sid: Option<u64>, msg: &ServerMsg) {
+        match sid {
+            None => self.queue(msg),
+            Some(sid) => self.queue(&Enveloped { sid, msg }),
+        }
+    }
+
+    /// Queue-and-flush counterpart of [`SharedWriter::queue_for`], for
+    /// immediate messages (`busy`, rejections, the final `bye`).
+    pub(crate) fn send_for(&self, sid: Option<u64>, msg: &ServerMsg) {
+        match sid {
+            None => self.send(msg),
+            Some(sid) => self.send(&Enveloped { sid, msg }),
+        }
+    }
+
     /// Encode one message into the pending buffer without flushing.
-    fn queue(&self, msg: &ServerMsg) {
+    fn queue<T: Serialize>(&self, msg: &T) {
         let mut state = self.lock();
         let _span = com_obs::span(com_obs::PHASE_SERVE_ENCODE);
         Self::queue_locked(&mut state, msg);
@@ -447,7 +431,7 @@ impl SharedWriter {
         }
     }
 
-    fn queue_locked(state: &mut WriterState, msg: &ServerMsg) {
+    fn queue_locked<T: Serialize>(state: &mut WriterState, msg: &T) {
         match state.format {
             WireFormat::Ndjson => {
                 state.buf.extend_from_slice(encode(msg).as_bytes());
@@ -461,9 +445,9 @@ impl SharedWriter {
     /// swallowed (a vanished peer must not abort the draining session),
     /// but they do drop the stream so a dead connection stops costing
     /// write syscalls. The `flush` span lands in whichever thread calls
-    /// this — the session thread's collector for responses; a no-op for
-    /// the reader thread.
-    fn flush(&self) {
+    /// this — a shard's collector for responses; a no-op for the router
+    /// thread.
+    pub(crate) fn flush(&self) {
         Self::flush_locked(&mut self.lock());
     }
 
@@ -481,8 +465,8 @@ impl SharedWriter {
     }
 
     /// Queue and flush in one lock acquisition — the path for immediate
-    /// messages (out-of-band `busy`, typed rejections, the final `bye`).
-    fn send(&self, msg: &ServerMsg) {
+    /// messages.
+    fn send<T: Serialize>(&self, msg: &T) {
         let mut state = self.lock();
         {
             let _span = com_obs::span(com_obs::PHASE_SERVE_ENCODE);
@@ -498,38 +482,179 @@ fn handle_connection(
     conn_id: u64,
     stop: Arc<AtomicBool>,
     counters: Arc<ServerCounters>,
+    pool: Arc<PoolShared>,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let writer = SharedWriter::new(stream.try_clone().ok());
-    let queue_stats = Arc::new(QueueStats::default());
-    let (queue, rx) = IngressQueue::new(
-        config.queue_capacity,
-        writer.clone(),
-        Arc::clone(&counters),
-        Arc::clone(&queue_stats),
-    );
-
-    // `done` lets the session thread stop the reader when the protocol
-    // ends the session while the socket is still open.
-    let done = Arc::new(AtomicBool::new(false));
-    let reader = {
-        let stop = Arc::clone(&stop);
-        let done = Arc::clone(&done);
-        std::thread::spawn(move || reader_loop(stream, queue, stop, done))
+    let ctx = ConnCtx::new(conn_id, writer.clone());
+    let mut router = Router {
+        pool,
+        routes: HashMap::new(),
+        ctx: ctx.clone(),
+        counters,
     };
+    reader_loop(stream, &mut router, &stop, &ctx.done);
+    // The socket is done (EOF, error, stop, or a bare-session shutdown):
+    // drain every logical session this connection opened, wherever it
+    // lives, and report in stable session-id order.
+    let reports = router.pool.close_conn(conn_id);
+    if config.print_stats {
+        for r in &reports {
+            let sid = r
+                .sid
+                .map(|s| format!("sid {s}"))
+                .unwrap_or_else(|| "bare".to_string());
+            eprintln!(
+                "session {} ({sid}, shard {}) {}: {} events, {} findings, \
+                 ingest p50 {}ns p99 {}ns, digest {}",
+                r.lsid,
+                r.shard,
+                r.algorithm,
+                r.events,
+                r.findings,
+                r.ingest_ns.p50(),
+                r.ingest_ns.p99(),
+                r.digest,
+            );
+        }
+    }
+    // Anything a shard queued after its last flush leaves with the
+    // connection.
+    writer.flush();
+}
 
-    // The collector is thread-local; this thread runs the session, so
-    // serving spans and the engine's own decision spans accumulate into
-    // one per-connection phase table.
-    if config.telemetry {
-        com_obs::install();
+/// Where decoded ingress goes — implemented by [`Router`] in production
+/// and by recording sinks in tests, so the byte-level splitting in
+/// [`drain_ingress`] stays deterministically unit-testable without
+/// sockets.
+pub(crate) trait IngressSink {
+    /// One NDJSON line (trimmed, non-empty). Returns `false` when the
+    /// server side is gone.
+    fn on_line(&mut self, line: &str) -> bool;
+    /// One binary frame payload (header stripped, length already capped).
+    fn on_frame(&mut self, payload: &[u8]) -> bool;
+    /// An oversized line/frame was rejected and is being discarded.
+    fn reject_oversized(&mut self, code: &str, detail: String);
+    /// A line that can never decode (not UTF-8).
+    fn reject_bad_line(&mut self, detail: String);
+}
+
+/// Per-connection routing state: which shard owns each logical session
+/// this connection has said `hello` for.
+struct Router {
+    pool: Arc<PoolShared>,
+    /// `None` = the connection's bare (un-multiplexed) session.
+    routes: HashMap<Option<u64>, usize>,
+    ctx: ConnCtx,
+    counters: Arc<ServerCounters>,
+}
+
+impl Router {
+    /// Dispatch one decoded message to the shard owning its session.
+    /// Returns `false` when the pool is gone (server stopping).
+    fn route(&mut self, sid: Option<u64>, msg: ClientMsg, decode_ns: u64) -> bool {
+        let shard = match self.routes.get(&sid) {
+            // Sticky for the connection's lifetime: a duplicate `hello`
+            // must reach the shard that owns the live session, whatever
+            // origin it claims.
+            Some(&shard) => shard,
+            None => match &msg {
+                ClientMsg::hello(h) => {
+                    let shard = self.pool.placement.place(
+                        self.ctx.conn_id,
+                        sid,
+                        h.origin,
+                        self.pool.shards(),
+                    );
+                    self.routes.insert(sid, shard);
+                    shard
+                }
+                other => {
+                    // Not a hello and no session to address: refuse at
+                    // the router — there is no shard to order against.
+                    self.counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let response = match sid {
+                        Some(s) => error("unknown-sid", format!("no open session with sid {s}")),
+                        None if matches!(other, ClientMsg::shutdown) => {
+                            error("no-session", "shutdown before hello")
+                        }
+                        None => error("no-session", "say hello first"),
+                    };
+                    self.ctx.writer.send_for(sid, &response);
+                    return true;
+                }
+            },
+        };
+        self.pool
+            .try_ingress(shard, &self.ctx, sid, msg, decode_ns, &self.counters)
     }
-    session_loop(rx, writer, &config, conn_id, &queue_stats, &stop, &counters);
-    if config.telemetry {
-        com_obs::uninstall();
+
+    /// Answer a decode failure. When the connection has a bare session
+    /// the error is routed through its shard so it lands in FIFO order
+    /// with pipelined responses; otherwise it is written immediately.
+    fn decode_error(&mut self, err: DecodeError) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        let response = match err {
+            DecodeError::BadJson(d) => error("bad-json", d),
+            DecodeError::BadFrame(d) => error("bad-frame", d),
+            DecodeError::UnknownMessage(d) => error("unknown-message", d),
+        };
+        match self.routes.get(&None) {
+            Some(&shard) => self.pool.reply_via(shard, &self.ctx, None, response),
+            None => self.ctx.writer.send_for(None, &response),
+        }
     }
-    done.store(true, Ordering::SeqCst);
-    let _ = reader.join();
+}
+
+impl IngressSink for Router {
+    fn on_line(&mut self, line: &str) -> bool {
+        let started = Instant::now();
+        let decoded = decode_client_frame(line);
+        let decode_ns = started.elapsed().as_nanos() as u64;
+        match decoded {
+            Ok(ClientFrame { sid, msg }) => self.route(sid, msg, decode_ns),
+            Err(e) => {
+                self.decode_error(e);
+                true
+            }
+        }
+    }
+
+    fn on_frame(&mut self, payload: &[u8]) -> bool {
+        let started = Instant::now();
+        let decoded: Result<ClientFrame, DecodeError> = match framing::decode_payload(payload) {
+            Err(e) => Err(DecodeError::BadFrame(e.to_string())),
+            Ok(content) => serde::Deserialize::from_content(&content)
+                .map_err(|e: serde::Error| DecodeError::UnknownMessage(e.to_string())),
+        };
+        let decode_ns = started.elapsed().as_nanos() as u64;
+        match decoded {
+            Ok(ClientFrame { sid, msg }) => self.route(sid, msg, decode_ns),
+            Err(e) => {
+                self.decode_error(e);
+                true
+            }
+        }
+    }
+
+    fn reject_oversized(&mut self, code: &str, detail: String) {
+        self.ctx.oversized.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.ctx.writer.send_for(None, &error(code, detail));
+    }
+
+    fn reject_bad_line(&mut self, detail: String) {
+        self.counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.ctx.writer.send_for(None, &error("bad-json", detail));
+    }
 }
 
 /// Reader-side discard state for oversized input: how to get back to the
@@ -545,27 +670,23 @@ enum Discard {
 
 fn reader_loop(
     mut stream: TcpStream,
-    queue: IngressQueue,
-    stop: Arc<AtomicBool>,
-    done: Arc<AtomicBool>,
+    sink: &mut impl IngressSink,
+    stop: &AtomicBool,
+    done: &AtomicBool,
 ) {
     let mut buf: Vec<u8> = Vec::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut discard = Discard::None;
     loop {
         if stop.load(Ordering::SeqCst) || done.load(Ordering::SeqCst) {
-            queue.push_eof();
             return;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => {
-                queue.push_eof();
-                return;
-            }
+            Ok(0) => return,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if !drain_ingress(&mut buf, &mut discard, &queue) {
-                    return; // session side gone
+                if !drain_ingress(&mut buf, &mut discard, sink) {
+                    return; // shard pool gone (server stopping)
                 }
             }
             Err(e)
@@ -575,20 +696,17 @@ fn reader_loop(
                 // Read timeout: partial bytes stay buffered; loop to
                 // re-check the stop flags.
             }
-            Err(_) => {
-                queue.push_eof();
-                return;
-            }
+            Err(_) => return,
         }
     }
 }
 
 /// Carve complete messages off the front of the read buffer, detecting
 /// the framing of each from its first byte. Returns `false` when the
-/// session side is gone. Incomplete trailing input stays buffered —
-/// except oversized input, which is rejected and then *discarded* via
-/// `discard` so the buffer never grows past the caps.
-fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue) -> bool {
+/// sink reports the server side gone. Incomplete trailing input stays
+/// buffered — except oversized input, which is rejected and then
+/// *discarded* via `discard` so the buffer never grows past the caps.
+fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, sink: &mut impl IngressSink) -> bool {
     let mut pos = 0usize;
     let alive = loop {
         match discard {
@@ -620,14 +738,15 @@ fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue)
             match split_frame(&buf[pos..]) {
                 FrameSplit::Incomplete => break true,
                 FrameSplit::Complete { consumed } => {
-                    let payload = buf[pos + framing::FRAME_HEADER_LEN..pos + consumed].to_vec();
-                    pos += consumed;
-                    if !queue.push_frame(payload) {
+                    let payload = &buf[pos + framing::FRAME_HEADER_LEN..pos + consumed];
+                    if !sink.on_frame(payload) {
+                        pos += consumed;
                         break false;
                     }
+                    pos += consumed;
                 }
                 FrameSplit::Oversized { len, skip } => {
-                    queue.reject_oversized(
+                    sink.reject_oversized(
                         "oversized-frame",
                         format!(
                             "frame payload of {len} bytes exceeds {}",
@@ -643,7 +762,7 @@ fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue)
                     let line = &buf[pos..pos + nl];
                     let advance = nl + 1;
                     if line.len() > MAX_LINE_BYTES {
-                        queue.reject_oversized(
+                        sink.reject_oversized(
                             "oversized-line",
                             format!("line of {} bytes exceeds {MAX_LINE_BYTES}", line.len()),
                         );
@@ -652,18 +771,16 @@ fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue)
                         match std::str::from_utf8(line) {
                             Ok(text) => {
                                 let text = text.trim();
-                                let line = (!text.is_empty()).then(|| text.to_string());
+                                let alive = text.is_empty() || sink.on_line(text);
                                 pos += advance;
-                                if let Some(l) = line {
-                                    if !queue.push_line(l) {
-                                        break false;
-                                    }
+                                if !alive {
+                                    break false;
                                 }
                             }
                             Err(e) => {
                                 // Not UTF-8, so not JSON either: reject
                                 // the line but keep the connection.
-                                queue.reject_bad_line(format!("line is not UTF-8: {e}"));
+                                sink.reject_bad_line(format!("line is not UTF-8: {e}"));
                                 pos += advance;
                             }
                         }
@@ -671,7 +788,7 @@ fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue)
                 }
                 None => {
                     if buf.len() - pos > MAX_LINE_BYTES {
-                        queue.reject_oversized(
+                        sink.reject_oversized(
                             "oversized-line",
                             format!(
                                 "unterminated line past {MAX_LINE_BYTES} bytes ({} so far)",
@@ -690,325 +807,16 @@ fn drain_ingress(buf: &mut Vec<u8>, discard: &mut Discard, queue: &IngressQueue)
     alive
 }
 
-fn session_loop(
-    rx: Receiver<Ingress>,
-    writer: SharedWriter,
-    config: &ServerConfig,
-    conn_id: u64,
-    queue_stats: &Arc<QueueStats>,
-    stop: &AtomicBool,
-    counters: &Arc<ServerCounters>,
-) {
-    let mut session: Option<ServeSession> = None;
-    let mut said_bye = false;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        // Drain the queue hot (responses pile up in the writer buffer);
-        // flush only when about to block — one syscall per burst.
-        let ingress = match rx.try_recv() {
-            Ok(i) => i,
-            Err(TryRecvError::Disconnected) => break,
-            Err(TryRecvError::Empty) => {
-                writer.flush();
-                match rx.recv_timeout(POLL_INTERVAL) {
-                    Ok(i) => i,
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        };
-        match ingress {
-            Ingress::Line(_) | Ingress::Frame(_) => {
-                let depth = queue_stats.on_drain();
-                com_obs::gauge_set("ingress.queue_depth", depth as f64);
-                let ended = handle_ingress(
-                    ingress,
-                    &mut session,
-                    &writer,
-                    config,
-                    conn_id,
-                    queue_stats,
-                    counters,
-                    &mut said_bye,
-                );
-                if ended {
-                    break;
-                }
-            }
-            Ingress::Eof => break,
-        }
-    }
-    // Whatever ended the loop — protocol shutdown, client disconnect, or
-    // server stop — the session is drained and audited exactly once.
-    if let Some(live) = session.take() {
-        let finished = live.finish();
-        counters.sessions_finished.fetch_add(1, Ordering::Relaxed);
-        if !said_bye {
-            writer.send(&ServerMsg::bye(finished.bye()));
-        }
-        if config.print_stats {
-            let h = &finished.ingest_ns;
-            eprintln!(
-                "session {}: {} events, {} findings, ingest p50 {}ns p99 {}ns",
-                finished.run.algorithm,
-                finished.instance.stream.len(),
-                finished.findings.len(),
-                h.p50(),
-                h.p99(),
-            );
-        }
-    }
-    // Responses queued after the last flush point (e.g. the burst that
-    // ended in `shutdown`) leave with the connection.
-    writer.flush();
-}
-
-fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
+pub(crate) fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
     ServerMsg::error(ErrorMsg {
         code: code.into(),
         detail: detail.into(),
     })
 }
 
-/// Decode one unit of ingress in the session thread. Lines and frames
-/// meet the same two-stage error split: undecodable bytes
-/// (`bad-json`/`bad-frame`) versus a well-formed value that is not a
-/// protocol message (`unknown-message`).
-fn decode_ingress(ingress: &Ingress) -> Result<ClientMsg, DecodeError> {
-    match ingress {
-        Ingress::Line(text) => decode_client(text),
-        Ingress::Frame(payload) => match framing::decode_payload(payload) {
-            Err(e) => Err(DecodeError::BadFrame(e.to_string())),
-            Ok(content) => serde::Deserialize::from_content(&content)
-                .map_err(|e: serde::Error| DecodeError::UnknownMessage(e.to_string())),
-        },
-        Ingress::Eof => unreachable!("EOF is handled by the session loop"),
-    }
-}
-
-/// Process one ingress unit; returns `true` when the protocol ended the
-/// session (`shutdown`). Responses are *queued* — the session loop
-/// flushes when the ingress queue runs dry — except `bye`, which always
-/// flushes because it is the last thing the connection says.
-#[allow(clippy::too_many_arguments)]
-fn handle_ingress(
-    ingress: Ingress,
-    session: &mut Option<ServeSession>,
-    writer: &SharedWriter,
-    config: &ServerConfig,
-    conn_id: u64,
-    queue_stats: &Arc<QueueStats>,
-    counters: &Arc<ServerCounters>,
-    said_bye: &mut bool,
-) -> bool {
-    let decoded = {
-        let _span = com_obs::span(com_obs::PHASE_SERVE_DECODE);
-        decode_ingress(&ingress)
-    };
-    let msg = match decoded {
-        Ok(msg) => msg,
-        Err(DecodeError::BadJson(detail)) => {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.queue(&error("bad-json", detail));
-            return false;
-        }
-        Err(DecodeError::BadFrame(detail)) => {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.queue(&error("bad-frame", detail));
-            return false;
-        }
-        Err(DecodeError::UnknownMessage(detail)) => {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.queue(&error("unknown-message", detail));
-            return false;
-        }
-    };
-    match msg {
-        ClientMsg::hello(hello) => {
-            if session.is_some() {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                writer.queue(&error("duplicate-hello", "session already open"));
-                return false;
-            }
-            match ServeSession::open(&hello) {
-                Ok(mut s) => {
-                    if let Some(dir) = &config.record_dir {
-                        attach_recorder(&mut s, dir, conn_id, &hello);
-                    }
-                    // Negotiate framing: honour a recognised request,
-                    // silently downgrade anything else to NDJSON. The
-                    // welcome itself always goes out in the *current*
-                    // (NDJSON) framing; the switch applies after it.
-                    let format = hello
-                        .frame
-                        .as_deref()
-                        .and_then(WireFormat::parse)
-                        .unwrap_or(WireFormat::Ndjson);
-                    writer.queue(&ServerMsg::welcome {
-                        algorithm: s.algorithm(),
-                        frame: Some(format.as_str().to_string()),
-                    });
-                    if format == WireFormat::Binary {
-                        writer.set_format(WireFormat::Binary);
-                    }
-                    *session = Some(s);
-                }
-                Err(detail) => {
-                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    writer.queue(&error("unknown-matcher", detail));
-                }
-            }
-            false
-        }
-        ClientMsg::worker(msg) => {
-            with_session(session, writer, counters, |s| match s.worker(&msg) {
-                Ok(()) => ServerMsg::ok,
-                Err(violation) => error("constraint", violation.to_string()),
-            });
-            false
-        }
-        ClientMsg::request(spec) => {
-            with_session(session, writer, counters, |s| match s.request(&spec) {
-                Ok(response) => response,
-                Err(violation) => error("constraint", violation.to_string()),
-            });
-            false
-        }
-        ClientMsg::tick { to } => {
-            with_session(session, writer, counters, |s| match s.tick(to) {
-                Ok(()) => ServerMsg::ok,
-                Err(violation) => error("constraint", violation.to_string()),
-            });
-            false
-        }
-        ClientMsg::stats => {
-            let dropped = counters.dropped();
-            with_session(session, writer, counters, |s| {
-                ServerMsg::stats(s.stats(dropped))
-            });
-            false
-        }
-        ClientMsg::stats_deep => {
-            let dropped = counters.dropped();
-            let depth = queue_stats.depth();
-            let high_water = queue_stats.high_water();
-            let oversized = queue_stats.oversized();
-            with_session(session, writer, counters, |s| {
-                ServerMsg::stats_deep(Box::new(
-                    s.deep_stats(dropped, depth, high_water, oversized),
-                ))
-            });
-            false
-        }
-        ClientMsg::shutdown => {
-            if let Some(live) = session.take() {
-                let finished = live.finish();
-                counters.sessions_finished.fetch_add(1, Ordering::Relaxed);
-                writer.send(&ServerMsg::bye(finished.bye()));
-                *said_bye = true;
-                true
-            } else {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                writer.queue(&error("no-session", "shutdown before hello"));
-                false
-            }
-        }
-    }
-}
-
-/// Open the flight recorder for a fresh session. Recording failures are
-/// never fatal to serving: log once and carry on unrecorded.
-fn attach_recorder(
-    session: &mut ServeSession,
-    dir: &std::path::Path,
-    conn_id: u64,
-    hello: &crate::protocol::Hello,
-) {
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("matchd: cannot create record dir {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join(format!(
-        "session-{conn_id}-{}-{}.jsonl",
-        sanitize_spec(&hello.matcher),
-        hello.seed
-    ));
-    match TraceRecorder::create(&path) {
-        Ok(recorder) => session.attach_recorder(recorder, hello, "matchd"),
-        Err(e) => eprintln!("matchd: cannot record to {}: {e}", path.display()),
-    }
-}
-
-fn with_session(
-    session: &mut Option<ServeSession>,
-    writer: &SharedWriter,
-    counters: &Arc<ServerCounters>,
-    f: impl FnOnce(&mut ServeSession) -> ServerMsg,
-) {
-    match session.as_mut() {
-        Some(s) => {
-            let response = f(s);
-            if matches!(response, ServerMsg::error(_)) {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            }
-            writer.queue(&response);
-        }
-        None => {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            writer.queue(&error("no-session", "say hello first"));
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The backpressure contract, deterministically and without sockets:
-    /// a full queue drops the line and counts it, never blocks, never
-    /// grows.
-    #[test]
-    fn full_ingress_queue_drops_and_counts() {
-        let counters = Arc::new(ServerCounters::default());
-        let stats = Arc::new(QueueStats::default());
-        let (queue, rx) = IngressQueue::new(
-            2,
-            SharedWriter::detached(),
-            Arc::clone(&counters),
-            Arc::clone(&stats),
-        );
-        assert!(queue.push_line("a".into()));
-        assert!(queue.push_line("b".into()));
-        // Queue full: the next two lines are dropped, not queued.
-        assert!(queue.push_line("c".into()));
-        assert!(queue.push_line("d".into()));
-        assert_eq!(counters.dropped(), 2);
-        // Depth tracks only queued lines; drops never inflate it.
-        assert_eq!(stats.depth(), 2);
-        assert_eq!(stats.high_water(), 2);
-        // Only the first two lines ever reach the session side.
-        let mut received = Vec::new();
-        while let Ok(Ingress::Line(l)) = rx.try_recv() {
-            received.push(l);
-        }
-        assert_eq!(received, vec!["a".to_string(), "b".to_string()]);
-    }
-
-    #[test]
-    fn push_after_receiver_drop_reports_disconnect() {
-        let counters = Arc::new(ServerCounters::default());
-        let (queue, rx) = IngressQueue::new(
-            2,
-            SharedWriter::detached(),
-            Arc::clone(&counters),
-            Arc::new(QueueStats::default()),
-        );
-        drop(rx);
-        assert!(!queue.push_line("a".into()));
-        assert_eq!(counters.dropped(), 0);
-    }
 
     #[test]
     fn queue_stats_high_water_survives_draining() {
@@ -1022,7 +830,101 @@ mod tests {
         }
         assert_eq!(stats.depth(), 0);
         assert_eq!(stats.high_water(), 5);
-        // Draining an EOF-only queue never underflows.
+        // Draining a control-only queue never underflows.
         assert_eq!(stats.on_drain(), 0);
+    }
+
+    /// Recording sink: what [`drain_ingress`] carved off the wire, in
+    /// order.
+    #[derive(Default)]
+    struct RecSink {
+        lines: Vec<String>,
+        frames: Vec<Vec<u8>>,
+        rejects: Vec<String>,
+        alive: bool,
+    }
+
+    impl RecSink {
+        fn new() -> Self {
+            RecSink {
+                alive: true,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl IngressSink for RecSink {
+        fn on_line(&mut self, line: &str) -> bool {
+            self.lines.push(line.to_string());
+            self.alive
+        }
+        fn on_frame(&mut self, payload: &[u8]) -> bool {
+            self.frames.push(payload.to_vec());
+            self.alive
+        }
+        fn reject_oversized(&mut self, code: &str, _detail: String) {
+            self.rejects.push(code.to_string());
+        }
+        fn reject_bad_line(&mut self, _detail: String) {
+            self.rejects.push("bad-json".to_string());
+        }
+    }
+
+    #[test]
+    fn drain_ingress_splits_mixed_framings() {
+        let mut sink = RecSink::new();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"{\"stats\":null}\n");
+        write_frame(&ServerMsg::ok, &mut buf);
+        buf.extend_from_slice(b"  \n{\"shutdown\":null}\n");
+        let mut discard = Discard::None;
+        assert!(drain_ingress(&mut buf, &mut discard, &mut sink));
+        assert_eq!(
+            sink.lines,
+            vec![
+                "{\"stats\":null}".to_string(),
+                "{\"shutdown\":null}".to_string()
+            ]
+        );
+        assert_eq!(sink.frames.len(), 1);
+        assert!(sink.rejects.is_empty());
+        assert!(buf.is_empty(), "complete input fully consumed");
+    }
+
+    #[test]
+    fn drain_ingress_buffers_incomplete_input() {
+        let mut sink = RecSink::new();
+        let mut buf = b"{\"stats\":nul".to_vec();
+        let mut discard = Discard::None;
+        assert!(drain_ingress(&mut buf, &mut discard, &mut sink));
+        assert!(sink.lines.is_empty(), "no newline yet, nothing delivered");
+        assert_eq!(buf, b"{\"stats\":nul".to_vec());
+    }
+
+    #[test]
+    fn drain_ingress_rejects_and_discards_oversized_lines() {
+        let mut sink = RecSink::new();
+        // An unterminated line past the cap is rejected once, then its
+        // remaining bytes drain to the newline without buffering.
+        let mut buf = vec![b'x'; MAX_LINE_BYTES + 10];
+        let mut discard = Discard::None;
+        assert!(drain_ingress(&mut buf, &mut discard, &mut sink));
+        assert_eq!(sink.rejects, vec!["oversized-line".to_string()]);
+        assert!(buf.is_empty(), "oversized bytes are not buffered");
+        // The tail of the line arrives, then a newline, then a good line.
+        let mut buf = b"yyy\n{\"stats\":null}\n".to_vec();
+        assert!(drain_ingress(&mut buf, &mut discard, &mut sink));
+        assert_eq!(sink.rejects.len(), 1, "one rejection per oversized line");
+        assert_eq!(sink.lines, vec!["{\"stats\":null}".to_string()]);
+    }
+
+    #[test]
+    fn drain_ingress_stops_when_sink_reports_dead() {
+        let mut sink = RecSink::new();
+        sink.alive = false;
+        let mut buf = b"{\"stats\":null}\n{\"shutdown\":null}\n".to_vec();
+        let mut discard = Discard::None;
+        assert!(!drain_ingress(&mut buf, &mut discard, &mut sink));
+        assert_eq!(sink.lines.len(), 1, "stops at the first dead delivery");
     }
 }

@@ -83,8 +83,17 @@ impl ServeSession {
     }
 
     /// Attach a flight recorder and write the trace's meta line. `source`
-    /// names the recording program (`"matchd"` / `"matchreplay"`).
-    pub fn attach_recorder(&mut self, mut recorder: TraceRecorder, hello: &Hello, source: &str) {
+    /// names the recording program (`"matchd"` / `"matchreplay"`); `sid`
+    /// and `shard` record where a multiplexed session lived (both `None`
+    /// for a bare session recorded outside the shard pool).
+    pub fn attach_recorder(
+        &mut self,
+        mut recorder: TraceRecorder,
+        hello: &Hello,
+        source: &str,
+        sid: Option<u64>,
+        shard: Option<u64>,
+    ) {
         recorder.write(&TraceLine::Meta(TraceMeta {
             v: TRACE_VERSION,
             source: source.to_string(),
@@ -95,6 +104,8 @@ impl ServeSession {
             platforms: hello.platforms.clone(),
             world: hello.world.clone(),
             frame: hello.frame.clone(),
+            sid,
+            shard,
         }));
         self.recorder = Some(recorder);
     }
@@ -232,6 +243,8 @@ impl ServeSession {
             queue_high_water,
             busy_dropped: dropped,
             oversized_rejected,
+            shard: None,
+            shards: Vec::new(),
         };
         if let Some(telemetry) = com_obs::snapshot_run() {
             deep.set_telemetry(&telemetry);
@@ -289,6 +302,7 @@ impl FinishedSession {
             refused: self.run.failures.len() as u64,
             audit_findings: self.findings.clone(),
             canonical: com_bench::runner::canonical_run_json(&self.run),
+            digest: com_bench::runner::canonical_run_digest(&self.run),
         }
     }
 }

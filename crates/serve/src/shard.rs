@@ -1,0 +1,795 @@
+//! Shard executors: the shared-nothing core of the refactored server.
+//!
+//! `matchd --shards N` starts N **shard worker threads**. Each shard owns
+//! its logical sessions outright — session state is plain mutable data on
+//! the shard thread, never behind a lock — and receives decoded protocol
+//! messages over one bounded MPSC channel (its *ingress queue*) fed by
+//! the per-connection router threads (see [`crate::server`]). Because one
+//! session lives on exactly one shard and the channel is FIFO, responses
+//! stay strictly ordered per session with zero hot-path synchronisation;
+//! the only shared state is the connection's [`SharedWriter`] (a mutex
+//! around the outgoing byte buffer) and a handful of monotonic counters.
+//!
+//! ## Placement
+//!
+//! Session→shard placement is **deterministic**: it depends only on the
+//! session's own key (its `sid`, or the connection id for bare legacy
+//! sessions) — never on load, arrival order, or wall clock — so the same
+//! workload lands on the same shards run after run, and a recorded
+//! session replays against the same executor layout. [`Placement::Hash`]
+//! is an FNV-1a hash of the session key; [`Placement::Grid`] buckets the
+//! `hello.origin` point into a `com-geo`-style square cell and hashes the
+//! cell instead, pinning spatially co-located sessions to the same shard
+//! (the routing hook for future spatial candidate sharding). Grid
+//! placement falls back to the hash rule when a `hello` carries no
+//! origin.
+//!
+//! ## Drain
+//!
+//! Teardown is two-phase: the router broadcasts [`ShardMsg::CloseConn`]
+//! to every shard (a blocking send — close must never be dropped), each
+//! shard finishes and audits the connection's sessions it owns and ships
+//! one [`SessionReport`] per session back over the ack channel, and the
+//! router sorts the collected reports by logical session id. Reporting
+//! order is therefore stable however many shards the sessions were spread
+//! across.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use com_obs::Histogram;
+
+use crate::framing::WireFormat;
+use crate::protocol::{ClientMsg, ErrorMsg, Hello, ServerMsg, ShardRow};
+use crate::server::{ConnCtx, QueueStats, ServerConfig, ServerCounters, SharedWriter};
+use crate::session::ServeSession;
+use crate::trace::{sanitize_spec, TraceRecorder};
+
+/// 64-bit FNV-1a — the same stable, dependency-free hash the canonical
+/// run digest uses. Placement must hash identically across runs and
+/// builds, which rules out `std`'s randomized hasher.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// How sessions are assigned to shards. Deterministic by construction:
+/// both modes are pure functions of the session's own key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// FNV-1a hash of the session key (`sid` for multiplexed sessions,
+    /// the connection id for bare legacy sessions), modulo shard count.
+    Hash,
+    /// Grid-cell placement: bucket `hello.origin` into the square cell of
+    /// side `cell` (world units) it falls in and hash the cell — sessions
+    /// anchored in the same area share a shard. Sessions without an
+    /// origin fall back to [`Placement::Hash`].
+    Grid { cell: f64 },
+}
+
+/// Default grid cell side, world units (the synthetic city is 10×10).
+pub const DEFAULT_GRID_CELL: f64 = 2.5;
+
+impl Placement {
+    /// Parse a `--placement` token: `hash`, `grid`, or `grid:<cell>`.
+    pub fn parse(s: &str) -> Result<Placement, String> {
+        match s {
+            "hash" => Ok(Placement::Hash),
+            "grid" => Ok(Placement::Grid {
+                cell: DEFAULT_GRID_CELL,
+            }),
+            other => match other.strip_prefix("grid:") {
+                Some(cell) => {
+                    let cell: f64 = cell
+                        .parse()
+                        .map_err(|e| format!("bad grid cell {cell:?}: {e}"))?;
+                    if !cell.is_finite() || cell <= 0.0 {
+                        return Err(format!("grid cell must be positive, got {cell}"));
+                    }
+                    Ok(Placement::Grid { cell })
+                }
+                None => Err(format!(
+                    "unknown placement {other:?} (expected hash, grid, or grid:<cell>)"
+                )),
+            },
+        }
+    }
+
+    /// The shard a fresh session keys to. `origin` is the `hello`'s
+    /// anchor point, if any.
+    pub fn place(
+        &self,
+        conn_id: u64,
+        sid: Option<u64>,
+        origin: Option<com_geo::Point>,
+        shards: usize,
+    ) -> usize {
+        let shards = shards.max(1);
+        if let Placement::Grid { cell } = self {
+            if let Some(p) = origin {
+                let cx = (p.x / cell).floor() as i64;
+                let cy = (p.y / cell).floor() as i64;
+                let mut key = [0u8; 17];
+                key[0] = 2; // domain tag: grid cell
+                key[1..9].copy_from_slice(&cx.to_le_bytes());
+                key[9..17].copy_from_slice(&cy.to_le_bytes());
+                return (fnv1a64(&key) % shards as u64) as usize;
+            }
+        }
+        let mut key = [0u8; 9];
+        match sid {
+            // Multiplexed sessions key on the sid alone, so placement is
+            // independent of connection accept order.
+            Some(sid) => {
+                key[0] = 1;
+                key[1..].copy_from_slice(&sid.to_le_bytes());
+            }
+            None => {
+                key[0] = 0;
+                key[1..].copy_from_slice(&conn_id.to_le_bytes());
+            }
+        }
+        (fnv1a64(&key) % shards as u64) as usize
+    }
+}
+
+/// Per-shard health, shared between the shard thread and the routers.
+/// `queue` tracks the shard's bounded ingress channel (the channel itself
+/// exposes no length).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    pub(crate) queue: QueueStats,
+    sessions_open: AtomicU64,
+    sessions_total: AtomicU64,
+    events_routed: AtomicU64,
+    busy_dropped: AtomicU64,
+}
+
+impl ShardStats {
+    /// Snapshot this shard's `stats_deep` row.
+    pub fn row(&self, shard: usize) -> ShardRow {
+        ShardRow {
+            shard: shard as u64,
+            sessions: self.sessions_open.load(Ordering::Relaxed),
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            events_routed: self.events_routed.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth(),
+            queue_high_water: self.queue.high_water(),
+            busy_dropped: self.busy_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One finished logical session's drain summary, shipped from the shard
+/// that owned it back to the connection's router at close.
+pub(crate) struct SessionReport {
+    /// Server-assigned logical session id (dense, in `hello` order).
+    pub lsid: u64,
+    /// The wire sid (`None` for a bare legacy session).
+    pub sid: Option<u64>,
+    pub shard: usize,
+    pub algorithm: String,
+    pub events: u64,
+    pub findings: usize,
+    /// `canonical_run_digest` of the finished run.
+    pub digest: String,
+    pub ingest_ns: Histogram,
+}
+
+/// What routers send to shard executors.
+pub(crate) enum ShardMsg {
+    /// One decoded client message for the session `(ctx.conn_id, sid)`.
+    /// `decode_ns` is the router-side decode duration, accounted into the
+    /// shard's phase table ([`com_obs::span_record`]).
+    Ingress {
+        ctx: ConnCtx,
+        sid: Option<u64>,
+        msg: ClientMsg,
+        decode_ns: u64,
+    },
+    /// A pre-built response the router wants written in FIFO order with
+    /// the shard's own responses (protocol errors on a connection whose
+    /// bare session this shard owns).
+    Reply {
+        ctx: ConnCtx,
+        sid: Option<u64>,
+        msg: ServerMsg,
+    },
+    /// The connection is gone: finish every session it owns here, ship
+    /// one [`SessionReport`] per session (shutdown-finished ones
+    /// included), then drop `ack`.
+    CloseConn {
+        conn_id: u64,
+        ack: mpsc::Sender<SessionReport>,
+    },
+    /// Server shutdown: exit the shard loop.
+    Stop,
+}
+
+/// The shared face of the shard pool: what router threads need to route.
+pub(crate) struct PoolShared {
+    txs: Vec<SyncSender<ShardMsg>>,
+    pub(crate) stats: Arc<Vec<ShardStats>>,
+    pub(crate) placement: Placement,
+}
+
+impl PoolShared {
+    pub(crate) fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Try to hand one decoded message to `shard`. On a full queue the
+    /// message is dropped and `busy` sent out of band (sid-tagged so a
+    /// mux client knows which session's message was lost). Returns
+    /// `false` only when the shard is gone (server stopping).
+    pub(crate) fn try_ingress(
+        &self,
+        shard: usize,
+        ctx: &ConnCtx,
+        sid: Option<u64>,
+        msg: ClientMsg,
+        decode_ns: u64,
+        counters: &ServerCounters,
+    ) -> bool {
+        let stats = &self.stats[shard];
+        match self.txs[shard].try_send(ShardMsg::Ingress {
+            ctx: ctx.clone(),
+            sid,
+            msg,
+            decode_ns,
+        }) {
+            Ok(()) => {
+                stats.queue.on_enqueue();
+                stats.events_routed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                stats.busy_dropped.fetch_add(1, Ordering::Relaxed);
+                ctx.writer.send_for(sid, &ServerMsg::busy);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+
+    /// Queue a router-built response through `shard` so it lands in FIFO
+    /// order with that shard's own responses. Falls back to an immediate
+    /// out-of-band write when the shard queue is full — an error response
+    /// is never silently lost.
+    pub(crate) fn reply_via(&self, shard: usize, ctx: &ConnCtx, sid: Option<u64>, msg: ServerMsg) {
+        match self.txs[shard].try_send(ShardMsg::Reply {
+            ctx: ctx.clone(),
+            sid,
+            msg,
+        }) {
+            Ok(()) => self.stats[shard].queue.on_enqueue(),
+            Err(TrySendError::Full(m)) | Err(TrySendError::Disconnected(m)) => {
+                if let ShardMsg::Reply { msg, .. } = m {
+                    ctx.writer.send_for(sid, &msg);
+                }
+            }
+        }
+    }
+
+    /// Drain every session `conn_id` owns anywhere in the pool. Blocking
+    /// sends: close, like EOF before it, must never be dropped. Reports
+    /// come back sorted by logical session id — stable however many
+    /// shards the connection's sessions were spread across.
+    pub(crate) fn close_conn(&self, conn_id: u64) -> Vec<SessionReport> {
+        let (ack, reports) = mpsc::channel();
+        for tx in &self.txs {
+            let _ = tx.send(ShardMsg::CloseConn {
+                conn_id,
+                ack: ack.clone(),
+            });
+        }
+        drop(ack);
+        let mut reports: Vec<SessionReport> = reports.iter().collect();
+        // Stable session-id order whatever shard each session lived on:
+        // mux sessions sort by their wire sid, bare ones by the dense
+        // server-assigned id.
+        reports.sort_by_key(|r| (r.sid.unwrap_or(r.lsid), r.lsid));
+        reports
+    }
+}
+
+/// The pool of shard executor threads. Owned by the accept loop; routers
+/// hold the [`PoolShared`] face.
+pub(crate) struct ShardPool {
+    pub(crate) shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawn `config.shards` executors (at least one), each with a
+    /// bounded ingress channel of `config.queue_capacity`.
+    pub(crate) fn start(config: &ServerConfig, counters: Arc<ServerCounters>) -> ShardPool {
+        let n = config.shards.max(1);
+        let stats = Arc::new((0..n).map(|_| ShardStats::default()).collect::<Vec<_>>());
+        let next_lsid = Arc::new(AtomicU64::new(0));
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for shard in 0..n {
+            let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+            txs.push(tx);
+            let stats = Arc::clone(&stats);
+            let counters = Arc::clone(&counters);
+            let next_lsid = Arc::clone(&next_lsid);
+            let config = config.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("matchd-shard-{shard}"))
+                    .spawn(move || shard_loop(shard, rx, stats, config, counters, next_lsid))
+                    .expect("spawn shard thread"),
+            );
+        }
+        ShardPool {
+            shared: Arc::new(PoolShared {
+                txs,
+                stats,
+                placement: config.placement,
+            }),
+            handles,
+        }
+    }
+
+    /// Stop and join every shard thread.
+    pub(crate) fn stop(self) {
+        for tx in &self.shared.txs {
+            let _ = tx.send(ShardMsg::Stop);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One live session on a shard, with everything needed to answer and
+/// eventually drain it.
+struct Entry {
+    session: ServeSession,
+    lsid: u64,
+    sid: Option<u64>,
+    ctx: ConnCtx,
+}
+
+fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
+    ServerMsg::error(ErrorMsg {
+        code: code.into(),
+        detail: detail.into(),
+    })
+}
+
+/// The shard executor: single-threaded ownership of its sessions, the
+/// same drain-hot/flush-when-empty discipline the per-connection session
+/// loop used — responses pile up in each connection's writer buffer while
+/// ingress is hot and flush once the queue runs dry.
+fn shard_loop(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    stats: Arc<Vec<ShardStats>>,
+    config: ServerConfig,
+    counters: Arc<ServerCounters>,
+    next_lsid: Arc<AtomicU64>,
+) {
+    // Thread-local collector: this shard's phase table aggregates every
+    // session it owns (decode time included, via span_record).
+    if config.telemetry {
+        com_obs::install();
+    }
+    let mut sessions: HashMap<(u64, Option<u64>), Entry> = HashMap::new();
+    // Reports for sessions already finished by protocol `shutdown`,
+    // held until the connection closes so the drain report is complete.
+    let mut finished: HashMap<u64, Vec<SessionReport>> = HashMap::new();
+    // Writers of connections with traffic on this shard, for the
+    // flush-when-empty cycle.
+    let mut writers: HashMap<u64, SharedWriter> = HashMap::new();
+    loop {
+        let msg = match rx.try_recv() {
+            Ok(m) => m,
+            Err(TryRecvError::Empty) => {
+                for w in writers.values() {
+                    w.flush();
+                }
+                match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        match msg {
+            ShardMsg::Stop => break,
+            ShardMsg::Reply { ctx, sid, msg } => {
+                stats[shard].queue.on_drain();
+                writers
+                    .entry(ctx.conn_id)
+                    .or_insert_with(|| ctx.writer.clone());
+                ctx.writer.queue_for(sid, &msg);
+            }
+            ShardMsg::Ingress {
+                ctx,
+                sid,
+                msg,
+                decode_ns,
+            } => {
+                let depth = stats[shard].queue.on_drain();
+                com_obs::gauge_set("ingress.queue_depth", depth as f64);
+                com_obs::span_record(com_obs::PHASE_SERVE_DECODE, decode_ns);
+                writers
+                    .entry(ctx.conn_id)
+                    .or_insert_with(|| ctx.writer.clone());
+                handle_msg(
+                    shard,
+                    &mut sessions,
+                    &mut finished,
+                    ctx,
+                    sid,
+                    msg,
+                    &config,
+                    &counters,
+                    &stats,
+                    &next_lsid,
+                );
+            }
+            ShardMsg::CloseConn { conn_id, ack } => {
+                writers.remove(&conn_id);
+                let mut reports = finished.remove(&conn_id).unwrap_or_default();
+                let keys: Vec<(u64, Option<u64>)> = sessions
+                    .keys()
+                    .filter(|k| k.0 == conn_id)
+                    .copied()
+                    .collect();
+                for key in keys {
+                    let entry = sessions.remove(&key).expect("key just listed");
+                    reports.push(finish_entry(entry, shard, &stats, &counters));
+                }
+                for report in reports {
+                    let _ = ack.send(report);
+                }
+            }
+        }
+    }
+    if config.telemetry {
+        com_obs::uninstall();
+    }
+}
+
+/// Finish one session: close the run, audit it, send the `bye` (flushed
+/// immediately — it may be the last thing the connection says), and build
+/// the drain report.
+fn finish_entry(
+    entry: Entry,
+    shard: usize,
+    stats: &Arc<Vec<ShardStats>>,
+    counters: &Arc<ServerCounters>,
+) -> SessionReport {
+    stats[shard].sessions_open.fetch_sub(1, Ordering::Relaxed);
+    let done = entry.session.finish();
+    counters.sessions_finished.fetch_add(1, Ordering::Relaxed);
+    let bye = done.bye();
+    let report = SessionReport {
+        lsid: entry.lsid,
+        sid: entry.sid,
+        shard,
+        algorithm: done.run.algorithm.clone(),
+        events: done.instance.stream.len() as u64,
+        findings: done.findings.len(),
+        digest: bye.digest.clone(),
+        ingest_ns: done.ingest_ns,
+    };
+    entry.ctx.writer.send_for(entry.sid, &ServerMsg::bye(bye));
+    report
+}
+
+/// Dispatch one decoded client message for session `(ctx.conn_id, sid)`.
+#[allow(clippy::too_many_arguments)]
+fn handle_msg(
+    shard: usize,
+    sessions: &mut HashMap<(u64, Option<u64>), Entry>,
+    finished: &mut HashMap<u64, Vec<SessionReport>>,
+    ctx: ConnCtx,
+    sid: Option<u64>,
+    msg: ClientMsg,
+    config: &ServerConfig,
+    counters: &Arc<ServerCounters>,
+    stats: &Arc<Vec<ShardStats>>,
+    next_lsid: &Arc<AtomicU64>,
+) {
+    let key = (ctx.conn_id, sid);
+    match msg {
+        ClientMsg::hello(hello) => {
+            if sessions.contains_key(&key) {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.writer
+                    .queue_for(sid, &error("duplicate-hello", "session already open"));
+                return;
+            }
+            match ServeSession::open(&hello) {
+                Ok(mut s) => {
+                    let lsid = next_lsid.fetch_add(1, Ordering::Relaxed);
+                    stats[shard].sessions_open.fetch_add(1, Ordering::Relaxed);
+                    stats[shard].sessions_total.fetch_add(1, Ordering::Relaxed);
+                    if let Some(dir) = &config.record_dir {
+                        attach_recorder(&mut s, dir, lsid, sid, shard, &hello);
+                    }
+                    // Negotiate framing: honour a recognised request,
+                    // silently downgrade anything else to NDJSON. The
+                    // welcome goes out in the connection's *current*
+                    // framing; the switch applies after it and is never
+                    // undone — once any session negotiates binary the
+                    // connection stays binary (mux clients read with
+                    // per-message auto-detection anyway).
+                    let format = hello
+                        .frame
+                        .as_deref()
+                        .and_then(WireFormat::parse)
+                        .unwrap_or(WireFormat::Ndjson);
+                    ctx.writer.queue_for(
+                        sid,
+                        &ServerMsg::welcome {
+                            algorithm: s.algorithm(),
+                            frame: Some(format.as_str().to_string()),
+                        },
+                    );
+                    if format == WireFormat::Binary {
+                        ctx.writer.set_format(WireFormat::Binary);
+                    }
+                    sessions.insert(
+                        key,
+                        Entry {
+                            session: s,
+                            lsid,
+                            sid,
+                            ctx,
+                        },
+                    );
+                }
+                Err(detail) => {
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    ctx.writer.queue_for(sid, &error("unknown-matcher", detail));
+                }
+            }
+        }
+        ClientMsg::worker(msg) => {
+            with_entry(
+                sessions,
+                &key,
+                &ctx,
+                counters,
+                "say hello first",
+                |e| match e.session.worker(&msg) {
+                    Ok(()) => ServerMsg::ok,
+                    Err(violation) => error("constraint", violation.to_string()),
+                },
+            );
+        }
+        ClientMsg::request(spec) => {
+            with_entry(
+                sessions,
+                &key,
+                &ctx,
+                counters,
+                "say hello first",
+                |e| match e.session.request(&spec) {
+                    Ok(response) => response,
+                    Err(violation) => error("constraint", violation.to_string()),
+                },
+            );
+        }
+        ClientMsg::tick { to } => {
+            with_entry(
+                sessions,
+                &key,
+                &ctx,
+                counters,
+                "say hello first",
+                |e| match e.session.tick(to) {
+                    Ok(()) => ServerMsg::ok,
+                    Err(violation) => error("constraint", violation.to_string()),
+                },
+            );
+        }
+        ClientMsg::stats => {
+            let dropped = counters.dropped();
+            with_entry(sessions, &key, &ctx, counters, "say hello first", |e| {
+                ServerMsg::stats(e.session.stats(dropped))
+            });
+        }
+        ClientMsg::stats_deep => {
+            let dropped = counters.dropped();
+            let my = &stats[shard];
+            let oversized = ctx.oversized.load(Ordering::Relaxed);
+            let rows: Vec<ShardRow> = stats.iter().enumerate().map(|(i, s)| s.row(i)).collect();
+            with_entry(sessions, &key, &ctx, counters, "say hello first", |e| {
+                let mut deep = e.session.deep_stats(
+                    dropped,
+                    my.queue.depth(),
+                    my.queue.high_water(),
+                    oversized,
+                );
+                deep.shard = Some(shard as u64);
+                deep.shards = rows.clone();
+                ServerMsg::stats_deep(Box::new(deep))
+            });
+        }
+        ClientMsg::shutdown => match sessions.remove(&key) {
+            Some(entry) => {
+                let bare = entry.sid.is_none();
+                let done_flag = Arc::clone(&entry.ctx.done);
+                let conn_id = entry.ctx.conn_id;
+                let report = finish_entry(entry, shard, stats, counters);
+                finished.entry(conn_id).or_default().push(report);
+                if bare {
+                    // Legacy semantics: `shutdown` on the bare session
+                    // ends the connection, not just the session.
+                    done_flag.store(true, Ordering::SeqCst);
+                }
+            }
+            None => no_session(&ctx, sid, counters, "shutdown before hello"),
+        },
+    }
+}
+
+/// Answer one message against a live session, or refuse it with the mux
+/// error (`unknown-sid` for an enveloped message, `no-session` for a bare
+/// one). Error responses count as protocol errors, exactly like the
+/// pre-shard server.
+fn with_entry(
+    sessions: &mut HashMap<(u64, Option<u64>), Entry>,
+    key: &(u64, Option<u64>),
+    ctx: &ConnCtx,
+    counters: &Arc<ServerCounters>,
+    missing_detail: &str,
+    f: impl FnOnce(&mut Entry) -> ServerMsg,
+) {
+    match sessions.get_mut(key) {
+        Some(entry) => {
+            let response = f(entry);
+            if matches!(response, ServerMsg::error(_)) {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            ctx.writer.queue_for(key.1, &response);
+        }
+        None => no_session(ctx, key.1, counters, missing_detail),
+    }
+}
+
+fn no_session(ctx: &ConnCtx, sid: Option<u64>, counters: &Arc<ServerCounters>, detail: &str) {
+    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let response = match sid {
+        Some(s) => error("unknown-sid", format!("no open session with sid {s}")),
+        None => error("no-session", detail),
+    };
+    ctx.writer.queue_for(sid, &response);
+}
+
+/// Open the flight recorder for a fresh session, named by its logical
+/// session id (the wire `sid` when the session is multiplexed, else the
+/// server-assigned dense id). Recording failures are never fatal to
+/// serving: log once and carry on unrecorded.
+fn attach_recorder(
+    session: &mut ServeSession,
+    dir: &std::path::Path,
+    lsid: u64,
+    sid: Option<u64>,
+    shard: usize,
+    hello: &Hello,
+) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("matchd: cannot create record dir {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!(
+        "session-{}-{}-{}.jsonl",
+        sid.unwrap_or(lsid),
+        sanitize_spec(&hello.matcher),
+        hello.seed
+    ));
+    match TraceRecorder::create(&path) {
+        Ok(recorder) => session.attach_recorder(recorder, hello, "matchd", sid, Some(shard as u64)),
+        Err(e) => eprintln!("matchd: cannot record to {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use com_geo::Point;
+
+    #[test]
+    fn placement_tokens_parse() {
+        assert_eq!(Placement::parse("hash").unwrap(), Placement::Hash);
+        assert_eq!(
+            Placement::parse("grid").unwrap(),
+            Placement::Grid {
+                cell: DEFAULT_GRID_CELL
+            }
+        );
+        assert_eq!(
+            Placement::parse("grid:1.25").unwrap(),
+            Placement::Grid { cell: 1.25 }
+        );
+        assert!(Placement::parse("grid:0").is_err());
+        assert!(Placement::parse("grid:nope").is_err());
+        assert!(Placement::parse("roulette").is_err());
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_connection_independent() {
+        let p = Placement::Hash;
+        for sid in 0..64u64 {
+            let a = p.place(0, Some(sid), None, 4);
+            let b = p.place(99, Some(sid), None, 4);
+            assert_eq!(a, b, "sid {sid}: placement must not depend on conn");
+            assert_eq!(a, p.place(0, Some(sid), None, 4), "sid {sid}: stable");
+            assert!(a < 4);
+        }
+        // Bare sessions key on the connection instead, also stably.
+        assert_eq!(p.place(7, None, None, 4), p.place(7, None, None, 4));
+        // Sids actually spread: 64 sids over 4 shards never all collapse
+        // onto one.
+        let distinct: std::collections::HashSet<usize> =
+            (0..64).map(|sid| p.place(0, Some(sid), None, 4)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn grid_placement_keys_on_the_cell() {
+        let p = Placement::Grid { cell: 2.0 };
+        // Same cell → same shard, regardless of sid or connection.
+        let a = p.place(0, Some(1), Some(Point::new(0.5, 0.5)), 4);
+        let b = p.place(9, Some(2), Some(Point::new(1.9, 1.9)), 4);
+        assert_eq!(a, b, "points in one cell share a shard");
+        // No origin → falls back to the hash rule.
+        assert_eq!(
+            p.place(3, Some(5), None, 4),
+            Placement::Hash.place(3, Some(5), None, 4)
+        );
+        // Neighbouring cells spread over >1 shard.
+        let distinct: std::collections::HashSet<usize> = (0..8)
+            .map(|i| p.place(0, Some(0), Some(Point::new(i as f64 * 2.0 + 0.1, 0.1)), 4))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    /// The backpressure contract, deterministically and without sockets:
+    /// a full shard queue drops the message and counts it, never blocks,
+    /// never grows.
+    #[test]
+    fn full_shard_queue_drops_and_counts() {
+        let (tx, rx) = mpsc::sync_channel(2);
+        let shared = PoolShared {
+            txs: vec![tx],
+            stats: Arc::new(vec![ShardStats::default()]),
+            placement: Placement::Hash,
+        };
+        let counters = ServerCounters::default();
+        let ctx = ConnCtx::detached(0);
+        assert!(shared.try_ingress(0, &ctx, None, ClientMsg::stats, 0, &counters));
+        assert!(shared.try_ingress(0, &ctx, Some(7), ClientMsg::stats, 0, &counters));
+        // Queue full: the next two messages are dropped, not queued.
+        assert!(shared.try_ingress(0, &ctx, None, ClientMsg::stats, 0, &counters));
+        assert!(shared.try_ingress(0, &ctx, Some(7), ClientMsg::stats, 0, &counters));
+        assert_eq!(counters.dropped(), 2);
+        assert_eq!(shared.stats[0].row(0).busy_dropped, 2);
+        // Depth tracks only queued messages; drops never inflate it.
+        assert_eq!(shared.stats[0].queue.depth(), 2);
+        assert_eq!(shared.stats[0].queue.high_water(), 2);
+        assert_eq!(shared.stats[0].row(0).events_routed, 2);
+        // Only the first two messages ever reach the shard side.
+        assert_eq!(rx.try_iter().count(), 2);
+        // A gone shard (server stopping) reports dead instead of dropping.
+        drop(rx);
+        assert!(!shared.try_ingress(0, &ctx, None, ClientMsg::stats, 0, &counters));
+        assert_eq!(counters.dropped(), 2);
+    }
+}

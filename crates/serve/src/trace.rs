@@ -65,6 +65,17 @@ pub struct TraceMeta {
     /// `"ndjson"`/absent). Informational: traces are always JSONL and
     /// replay identically whatever the session's framing was.
     pub frame: Option<String>,
+    /// The mux envelope sid this logical session was driven under, when
+    /// it was multiplexed (`None` = bare legacy session). Informational,
+    /// like `frame`: replay never depends on it.
+    #[serde(default)]
+    pub sid: Option<u64>,
+    /// Which shard executor owned the session in the recording server.
+    /// Placement is deterministic, so re-serving the same workload lands
+    /// the session on the same shard — but replay itself is single
+    /// threaded and ignores this.
+    #[serde(default)]
+    pub shard: Option<u64>,
 }
 
 /// One successfully ingested arrival event.
@@ -323,6 +334,8 @@ mod tests {
             platforms: vec!["A".into(), "B".into()],
             world: WorldConfig::city(10.0),
             frame: None,
+            sid: Some(3),
+            shard: Some(1),
         }
     }
 

@@ -12,7 +12,8 @@ use com_pricing::WorkerHistory;
 use com_serve::{
     decode_msg, decode_payload, encode, encode_frame, replay_scenario, serve, ByeMsg, Client,
     ClientMsg, CounterRow, DeepStatsMsg, ErrorMsg, GaugeRow, Hello, PhaseRow, ReplayOptions,
-    ServerConfig, ServerMsg, StatsMsg, WireFormat, WorkerMsg, FRAME_MAGIC, MAX_FRAME_PAYLOAD,
+    ServerConfig, ServerMsg, ShardRow, StatsMsg, WireFormat, WorkerMsg, FRAME_MAGIC,
+    MAX_FRAME_PAYLOAD,
 };
 use com_sim::{
     Assignment, Instance, MatchKind, PlatformId, RequestId, RequestSpec, Timestamp, WorkerId,
@@ -101,6 +102,7 @@ fn every_client_message_round_trips_through_a_binary_frame() {
         world: WorldConfig::city(10.0),
         platforms: vec!["Uber".into(), "Lyft".into()],
         max_value: Some(20.0),
+        origin: None,
         frame: Some("binary".into()),
     });
     let messages = vec![
@@ -152,12 +154,24 @@ fn every_server_message_round_trips_through_a_binary_frame() {
         queue_high_water: 17,
         busy_dropped: 0,
         oversized_rejected: 2,
+        shard: Some(1),
+        shards: vec![ShardRow {
+            shard: 1,
+            sessions: 2,
+            sessions_total: 5,
+            events_routed: 1234,
+            queue_depth: 3,
+            queue_high_water: 17,
+            busy_dropped: 0,
+        }],
     };
     // An empty-table variant too: Seq(vec![]) must round-trip.
     let mut empty = deep.clone();
     empty.phases.clear();
     empty.counters.clear();
     empty.gauges.clear();
+    empty.shards.clear();
+    empty.shard = None;
     deep.stats.events = 50;
 
     let messages = vec![
@@ -196,6 +210,7 @@ fn every_server_message_round_trips_through_a_binary_frame() {
                 r#"{"nested":{"seq":[1,-2,3.5,null,true,"s"],"deep":{"k":[{"x":0}]}}}"#,
             )
             .unwrap(),
+            digest: "fnv1a64:deadbeefdeadbeef".into(),
         }),
     ];
     for msg in &messages {
@@ -303,6 +318,7 @@ fn open_session(addr: &str, frame: Option<&str>) -> Client {
             world: WorldConfig::city(10.0),
             platforms: vec!["A".into(), "B".into()],
             max_value: Some(20.0),
+            origin: None,
             frame: frame.map(|s| s.to_string()),
         }))
         .expect("hello");
@@ -414,6 +430,7 @@ fn unknown_frame_token_downgrades_to_ndjson() {
             world: WorldConfig::city(10.0),
             platforms: vec!["A".into()],
             max_value: None,
+            origin: None,
             frame: Some("carrier-pigeon".into()),
         }))
         .expect("hello");

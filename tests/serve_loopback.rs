@@ -103,6 +103,7 @@ fn stats_reports_live_counters_mid_session() {
         world: instance.config.clone(),
         platforms: instance.platform_names.clone(),
         max_value: instance.max_value(),
+        origin: None,
         frame: None,
     });
     let (response, _) = client.rpc(&hello).expect("hello");

@@ -24,6 +24,7 @@ fn hello_msg() -> ClientMsg {
         world: WorldConfig::city(10.0),
         platforms: vec!["A".into(), "B".into()],
         max_value: Some(20.0),
+        origin: None,
         frame: None,
     })
 }
@@ -128,6 +129,7 @@ fn unknown_matcher_is_refused_with_the_registry_message() {
             world: WorldConfig::city(10.0),
             platforms: vec!["A".into()],
             max_value: None,
+            origin: None,
             frame: None,
         }))
         .expect("hello");

@@ -1,0 +1,373 @@
+//! Shard-pool serving, end to end: logical sessions multiplexed over one
+//! connection land on shared-nothing shard threads, and the shard count
+//! is *unobservable* in the results — every builtin spec's per-session
+//! canonical run JSON and finish digest are byte-identical across
+//! `--shards 1`, `--shards 4`, and the pre-refactor bare
+//! one-session-per-connection path, with a silent auditor throughout.
+//! Mux edge cases (unknown sid, duplicate hello, interleaved sids,
+//! mid-stream disconnect with sessions open on several shards) get typed
+//! errors and clean drains, never wedged connections.
+
+use std::time::{Duration, Instant};
+
+use com_bench::runner::{canonical_run_digest, canonical_run_json};
+use com_core::{try_run_online, validate_run, MatcherRegistry, MatcherSpec};
+use com_datagen::{generate, synthetic, SyntheticParams};
+use com_geo::Point;
+use com_serve::{
+    drive_multi, replay_scenario, serve, Client, ClientMsg, Hello, MultiOptions, Placement,
+    ReplayOptions, ServerConfig, ServerHandle, ServerMsg, WorkerMsg,
+};
+use com_sim::{ArrivalEvent, Instance};
+
+fn quick_instance() -> Instance {
+    generate(&synthetic(SyntheticParams {
+        n_requests: 150,
+        n_workers: 50,
+        ..SyntheticParams::default()
+    }))
+}
+
+fn shard_server(shards: usize) -> ServerHandle {
+    serve(ServerConfig {
+        shards,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Round-trip a canonical value through text so both comparison sides use
+/// the parsed representation.
+fn canonical_text(value: &serde_json::Value) -> String {
+    let text = serde_json::to_string(value).expect("serialise");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("round-trip");
+    serde_json::to_string(&parsed).expect("serialise")
+}
+
+fn hello_for(instance: &Instance, matcher: &str, seed: u64) -> ClientMsg {
+    ClientMsg::hello(Hello {
+        matcher: matcher.into(),
+        seed,
+        world: instance.config.clone(),
+        platforms: instance.platform_names.clone(),
+        max_value: instance.max_value(),
+        origin: None,
+        frame: None,
+    })
+}
+
+fn event_msg(instance: &Instance, event: &ArrivalEvent) -> ClientMsg {
+    match event {
+        ArrivalEvent::Worker(spec) => ClientMsg::worker(WorkerMsg {
+            spec: *spec,
+            history: instance.histories.get(&spec.id).cloned(),
+        }),
+        ArrivalEvent::Request(spec) => ClientMsg::request(*spec),
+    }
+}
+
+/// One strict mux round-trip: send the enveloped message, read the next
+/// frame, and require it to carry the same sid.
+fn mux_rpc(client: &mut Client, sid: u64, msg: ClientMsg) -> ServerMsg {
+    client.queue_for(Some(sid), msg);
+    client.flush().expect("flush");
+    let frame = client.recv_frame().expect("response frame");
+    assert_eq!(frame.sid, Some(sid), "response addressed to wrong sid");
+    frame.msg
+}
+
+/// The acceptance gate for the shard refactor: for every builtin matcher
+/// spec, the per-session canonical run JSON and finish digest are
+/// byte-identical across a 1-shard server, a 4-shard server, and the
+/// pre-refactor bare path — all equal to the local batch engine, whose
+/// run the auditor (`validate_run`) also finds sound.
+#[test]
+fn every_builtin_is_shard_count_invariant() {
+    let instance = quick_instance();
+    let registry = MatcherRegistry::builtin();
+    let base_seed = 71u64;
+    let sessions = 3usize;
+
+    let one = shard_server(1);
+    let four = shard_server(4);
+
+    for spec in MatcherSpec::all_builtin() {
+        let matcher = spec.canonical();
+
+        // Local ground truth, one batch run per logical session seed.
+        let mut truth = Vec::new();
+        for sid in 0..sessions as u64 {
+            let factory = registry.resolve(&matcher).expect("builtin resolves");
+            let batch = try_run_online(&instance, factory().as_mut(), base_seed + sid);
+            assert!(
+                validate_run(&instance, &batch).is_empty(),
+                "{matcher}: local batch run must audit clean"
+            );
+            truth.push((
+                canonical_text(&canonical_run_json(&batch)),
+                canonical_run_digest(&batch),
+            ));
+        }
+
+        // The pre-refactor path: one bare session per connection.
+        let bare = replay_scenario(
+            &one.addr().to_string(),
+            &instance,
+            &ReplayOptions {
+                matcher: matcher.clone(),
+                seed: base_seed,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("bare replay");
+        assert_eq!(bare.bye.audit_findings, Vec::<String>::new());
+        assert_eq!(
+            canonical_text(&bare.bye.canonical),
+            truth[0].0,
+            "{matcher}: bare"
+        );
+        assert_eq!(bare.bye.digest, truth[0].1, "{matcher}: bare digest");
+
+        // The mux path, 3 sessions over 2 connections, on both servers.
+        for (label, handle, shards) in [("1 shard", &one, 1), ("4 shards", &four, 4)] {
+            let report = drive_multi(
+                &handle.addr().to_string(),
+                &instance,
+                &MultiOptions {
+                    matcher: matcher.clone(),
+                    base_seed,
+                    connections: 2,
+                    sessions,
+                    ..MultiOptions::default()
+                },
+            )
+            .expect("mux replay");
+            assert_eq!(report.busy, 0, "{matcher} on {label}: dropped messages");
+            assert_eq!(report.sessions.len(), sessions);
+            for outcome in &report.sessions {
+                let (canonical, digest) = &truth[outcome.sid as usize];
+                assert_eq!(
+                    outcome.bye.audit_findings,
+                    Vec::<String>::new(),
+                    "{matcher} on {label}: sid {} audit",
+                    outcome.sid
+                );
+                assert_eq!(
+                    &canonical_text(&outcome.bye.canonical),
+                    canonical,
+                    "{matcher} on {label}: sid {} canonical run",
+                    outcome.sid
+                );
+                assert_eq!(
+                    &outcome.bye.digest, digest,
+                    "{matcher} on {label}: sid {} digest",
+                    outcome.sid
+                );
+            }
+            let deep = report.deep_stats.expect("stats_deep over conn 0");
+            assert_eq!(
+                deep.shards.len(),
+                shards,
+                "{matcher} on {label}: shard rows"
+            );
+        }
+    }
+    one.shutdown();
+    four.shutdown();
+}
+
+#[test]
+fn message_for_unknown_sid_gets_typed_error_and_connection_survives() {
+    let instance = quick_instance();
+    let handle = shard_server(4);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    // No hello ever happened for sid 7.
+    let response = mux_rpc(&mut client, 7, ClientMsg::stats);
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "unknown-sid");
+    assert!(e.detail.contains('7'), "detail names the sid: {}", e.detail);
+
+    // The connection is not wedged: a real session opens and closes.
+    let response = mux_rpc(&mut client, 1, hello_for(&instance, "demcom", 5));
+    assert!(matches!(response, ServerMsg::welcome { .. }));
+    let response = mux_rpc(&mut client, 1, ClientMsg::shutdown);
+    assert!(matches!(response, ServerMsg::bye(_)));
+    assert_eq!(handle.counters().dropped(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_hello_for_live_sid_is_refused_without_killing_the_session() {
+    let instance = quick_instance();
+    let handle = shard_server(4);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let response = mux_rpc(&mut client, 3, hello_for(&instance, "demcom", 5));
+    assert!(matches!(response, ServerMsg::welcome { .. }));
+
+    // A second hello for the same live sid — even with a different seed
+    // and an origin that would place elsewhere — is refused by the
+    // session's owning shard.
+    let re_hello = Hello {
+        matcher: "ramcom".into(),
+        seed: 99,
+        world: instance.config.clone(),
+        platforms: instance.platform_names.clone(),
+        max_value: instance.max_value(),
+        origin: Some(Point::new(9.0, 9.0)),
+        frame: None,
+    };
+    let response = mux_rpc(&mut client, 3, ClientMsg::hello(re_hello));
+    let ServerMsg::error(e) = response else {
+        panic!("expected error, got {response:?}");
+    };
+    assert_eq!(e.code, "duplicate-hello");
+
+    // The original session is intact and still answers.
+    let response = mux_rpc(&mut client, 3, ClientMsg::stats);
+    let ServerMsg::stats(stats) = response else {
+        panic!("expected stats, got {response:?}");
+    };
+    assert_eq!(stats.events, 0);
+    let response = mux_rpc(&mut client, 3, ClientMsg::shutdown);
+    assert!(matches!(response, ServerMsg::bye(_)));
+    assert_eq!(handle.counters().sessions_finished(), 1);
+    handle.shutdown();
+}
+
+/// Many sids interleaved message-by-message on one connection: every
+/// response comes back addressed to the sid that asked, and because all
+/// sids replay the same stream with the same seed, every bye carries the
+/// identical digest — equal to the local batch engine's.
+#[test]
+fn interleaved_sids_on_one_connection_stay_isolated() {
+    let instance = quick_instance();
+    let handle = shard_server(4);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let sids: Vec<u64> = (0..6).collect();
+
+    for &sid in &sids {
+        let response = mux_rpc(&mut client, sid, hello_for(&instance, "greedy-rt", 13));
+        assert!(matches!(response, ServerMsg::welcome { .. }));
+    }
+    // Lockstep interleave: consecutive wire messages address different
+    // sids (and so, usually, different shards).
+    for event in instance.stream.iter().take(40) {
+        for &sid in &sids {
+            let response = mux_rpc(&mut client, sid, event_msg(&instance, event));
+            assert!(
+                !matches!(response, ServerMsg::error(_)),
+                "sid {sid}: unexpected error {response:?}"
+            );
+        }
+    }
+
+    let registry = MatcherRegistry::builtin();
+    let factory = registry.resolve("greedy-rt").expect("builtin resolves");
+    let mut session = com_core::MatchSession::for_instance(&instance, factory(), 13);
+    for event in instance.stream.iter().take(40) {
+        session.ingest(event).expect("in-order stream");
+    }
+    let local_digest = canonical_run_digest(&session.finish());
+
+    for &sid in &sids {
+        let response = mux_rpc(&mut client, sid, ClientMsg::shutdown);
+        let ServerMsg::bye(bye) = response else {
+            panic!("sid {sid}: expected bye, got {response:?}");
+        };
+        assert_eq!(bye.audit_findings, Vec::<String>::new(), "sid {sid}");
+        assert_eq!(bye.digest, local_digest, "sid {sid}: digest");
+    }
+    assert_eq!(handle.counters().sessions_finished(), sids.len() as u64);
+    assert_eq!(handle.counters().protocol_errors(), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_with_sessions_open_on_several_shards_drains_them_all() {
+    let instance = quick_instance();
+    let handle = shard_server(4);
+    let addr = handle.addr().to_string();
+    {
+        let mut client = Client::connect(&addr).expect("connect");
+        for sid in 0..6u64 {
+            let response = mux_rpc(&mut client, sid, hello_for(&instance, "demcom", sid));
+            assert!(matches!(response, ServerMsg::welcome { .. }));
+        }
+        for event in instance.stream.iter().take(10) {
+            for sid in 0..6u64 {
+                let response = mux_rpc(&mut client, sid, event_msg(&instance, event));
+                assert!(!matches!(response, ServerMsg::error(_)));
+            }
+        }
+        // Drop the connection with all six sessions still open.
+    }
+    // Every shard finishes and audits its share of the sessions.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.counters().sessions_finished() < 6 {
+        assert!(
+            Instant::now() < deadline,
+            "sessions not drained after disconnect: {}",
+            handle.counters().sessions_finished()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The server is still healthy afterwards.
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = mux_rpc(&mut client, 0, hello_for(&instance, "demcom", 1));
+    assert!(matches!(response, ServerMsg::welcome { .. }));
+    let response = mux_rpc(&mut client, 0, ClientMsg::shutdown);
+    assert!(matches!(response, ServerMsg::bye(_)));
+    assert_eq!(handle.counters().sessions_finished(), 7);
+    assert_eq!(handle.counters().dropped(), 0);
+    handle.shutdown();
+}
+
+/// Grid placement is deterministic and serving-neutral: the same hello
+/// origins land on the same shards every run, and results equal the
+/// hash-placed ones.
+#[test]
+fn grid_placement_serves_identically_to_hash_placement() {
+    let instance = quick_instance();
+    let grid = serve(ServerConfig {
+        shards: 4,
+        placement: Placement::parse("grid:1.0").expect("placement token"),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(&grid.addr().to_string()).expect("connect");
+
+    let mut digests = Vec::new();
+    for (sid, origin) in [(0u64, Point::new(0.5, 0.5)), (1, Point::new(8.5, 8.5))] {
+        let hello = Hello {
+            matcher: "demcom".into(),
+            seed: 17,
+            world: instance.config.clone(),
+            platforms: instance.platform_names.clone(),
+            max_value: instance.max_value(),
+            origin: Some(origin),
+            frame: None,
+        };
+        let response = mux_rpc(&mut client, sid, ClientMsg::hello(hello));
+        assert!(matches!(response, ServerMsg::welcome { .. }));
+    }
+    for event in instance.stream.iter().take(30) {
+        for sid in 0..2u64 {
+            let response = mux_rpc(&mut client, sid, event_msg(&instance, event));
+            assert!(!matches!(response, ServerMsg::error(_)));
+        }
+    }
+    for sid in 0..2u64 {
+        let ServerMsg::bye(bye) = mux_rpc(&mut client, sid, ClientMsg::shutdown) else {
+            panic!("expected bye");
+        };
+        assert_eq!(bye.audit_findings, Vec::<String>::new());
+        digests.push(bye.digest);
+    }
+    // Same seed, same events: placement cannot leak into the result.
+    assert_eq!(digests[0], digests[1]);
+    grid.shutdown();
+}
