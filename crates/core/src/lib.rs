@@ -50,6 +50,7 @@ pub mod demcom;
 pub mod engine;
 pub mod matcher;
 pub mod offline;
+pub mod outsource;
 pub mod ramcom;
 pub mod ratio;
 pub mod registry;
@@ -67,6 +68,10 @@ pub use demcom::DemCom;
 pub use engine::{run_online, try_run_online, DecisionFailure, RunResult};
 pub use matcher::{Decision, OnlineMatcher, StreamInfo};
 pub use offline::{offline_solve, OfflineMode, OfflineResult};
+pub use outsource::{
+    merge_platform_runs, project_platform_instance, project_platform_run, validate_platform_slice,
+    LocalOutsource, OutsourceChannel, OutsourceOutcome, OutsourceReject, ScriptedOutsource,
+};
 pub use ramcom::RamCom;
 pub use ratio::{competitive_ratio_random_order, CrReport};
 pub use registry::{MatcherEntry, MatcherFactory, MatcherRegistry, MatcherSpec, SpecError};

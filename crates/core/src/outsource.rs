@@ -1,0 +1,702 @@
+//! The outsourcing seam — where a cross-platform assignment stops being
+//! a local decision and becomes a negotiation.
+//!
+//! In the paper's model (Definitions 2.3/2.4) an outer assignment *is*
+//! an agreement between two platforms: the requester offers payment
+//! `v' ∈ (0, v_r]`, the rival platform accepts or declines. The batch
+//! engine collapses that negotiation into a single in-process decision.
+//! [`OutsourceChannel`] re-opens it: every `Decision::Outer` the session
+//! wants to apply for a request it owns is first presented to the
+//! channel, and only an [`OutsourceOutcome::Accepted`] reply lets the
+//! assignment proceed. A declined or timed-out offer degrades to the
+//! no-outsource decision (`Decision::Reject` with
+//! `was_cooperative_offer: true` — an offer round ran, nobody served),
+//! which is always audit-valid.
+//!
+//! [`LocalOutsource`] is the in-process implementation: it accepts every
+//! offer unconditionally, so a session wired with it behaves
+//! byte-identically to the pre-federation engine. `com-serve`'s
+//! federated mode substitutes a wire-backed channel that turns each
+//! offer into an `outsource_offer` protocol message to the rival
+//! platform's daemon.
+//!
+//! [`project_platform_run`] is the other half of federation
+//! correctness: it projects an (instance, run) pair onto one platform's
+//! ownership slice — the full worker roster plus only the requests that
+//! platform owns — so `validate_run` can re-derive every paper
+//! invariant (the `v' ∈ (0, v_r]` bound included) on each federated
+//! daemon's log independently.
+
+use com_sim::{ArrivalEvent, Instance, PlatformId, RequestSpec, Value};
+use com_stream::{EventStream, WorkerId};
+
+use crate::engine::RunResult;
+
+/// Why a peer platform declined an outsourcing offer. The codes mirror
+/// the wire-level `outsource_reject.code` values one-for-one so a
+/// degraded decision can be attributed end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutsourceReject {
+    /// The peer does not own the worker named in the offer.
+    NotMyWorker,
+    /// The offered payment violates the peer's re-derived
+    /// `v' ∈ (0, v_r]` bound.
+    BadPayment,
+    /// The offer arrived after its deadline had already passed.
+    Expired,
+    /// The peer's replica disagrees with the offer (different worker,
+    /// payment, or no such assignment) — the platforms have diverged.
+    Desync,
+    /// The peer could not map the offer to a live federated session.
+    UnknownSession,
+    /// Any other typed refusal; the string is the wire `code`.
+    Other(String),
+}
+
+impl OutsourceReject {
+    /// The wire-level rejection code.
+    pub fn code(&self) -> &str {
+        match self {
+            OutsourceReject::NotMyWorker => "not-my-worker",
+            OutsourceReject::BadPayment => "bad-payment",
+            OutsourceReject::Expired => "expired",
+            OutsourceReject::Desync => "desync",
+            OutsourceReject::UnknownSession => "unknown-fed-session",
+            OutsourceReject::Other(code) => code,
+        }
+    }
+
+    /// Parse a wire-level rejection code back into the typed form.
+    pub fn from_code(code: &str) -> Self {
+        match code {
+            "not-my-worker" => OutsourceReject::NotMyWorker,
+            "bad-payment" => OutsourceReject::BadPayment,
+            "expired" => OutsourceReject::Expired,
+            "desync" => OutsourceReject::Desync,
+            "unknown-fed-session" => OutsourceReject::UnknownSession,
+            other => OutsourceReject::Other(other.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for OutsourceReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// The peer platform's answer to one outsourcing offer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutsourceOutcome {
+    /// The peer lends the worker at the offered payment; the assignment
+    /// proceeds exactly as the matcher decided.
+    Accepted,
+    /// The peer declined with a typed reason; the session degrades to
+    /// the no-outsource decision.
+    Rejected(OutsourceReject),
+    /// No answer within the offer deadline (retries included); the
+    /// session degrades to the no-outsource decision.
+    TimedOut,
+}
+
+impl OutsourceOutcome {
+    /// Whether the offer went through.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, OutsourceOutcome::Accepted)
+    }
+}
+
+/// The negotiation seam a [`MatchSession`](crate::MatchSession) consults
+/// before applying any `Decision::Outer` for a request it owns. The
+/// offer carries everything the rival platform needs to validate
+/// against its own replica: the request, the named worker, the worker's
+/// home platform, and the payment `v'`.
+pub trait OutsourceChannel {
+    /// Present one offer and block for the peer's verdict (or local
+    /// deadline). Implementations own their timeout/retry policy.
+    fn offer(
+        &mut self,
+        request: &RequestSpec,
+        worker: WorkerId,
+        worker_platform: PlatformId,
+        payment: Value,
+    ) -> OutsourceOutcome;
+}
+
+/// The in-process channel: both platforms live in this process, so
+/// every offer is accepted instantly. Sessions wired with this (the
+/// default) are byte-identical to the pre-federation engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalOutsource;
+
+impl OutsourceChannel for LocalOutsource {
+    fn offer(
+        &mut self,
+        _request: &RequestSpec,
+        _worker: WorkerId,
+        _worker_platform: PlatformId,
+        _payment: Value,
+    ) -> OutsourceOutcome {
+        OutsourceOutcome::Accepted
+    }
+}
+
+/// A scripted channel for tests and fault injection: pops one
+/// pre-seeded outcome per offer, accepting once the script runs dry.
+#[derive(Debug, Default)]
+pub struct ScriptedOutsource {
+    script: std::collections::VecDeque<OutsourceOutcome>,
+    pub offers_seen: usize,
+}
+
+impl ScriptedOutsource {
+    /// A channel that answers the first offers with `outcomes` in order,
+    /// then accepts everything after the script is exhausted.
+    pub fn new(outcomes: Vec<OutsourceOutcome>) -> Self {
+        ScriptedOutsource {
+            script: outcomes.into(),
+            offers_seen: 0,
+        }
+    }
+}
+
+impl OutsourceChannel for ScriptedOutsource {
+    fn offer(
+        &mut self,
+        _request: &RequestSpec,
+        _worker: WorkerId,
+        _worker_platform: PlatformId,
+        _payment: Value,
+    ) -> OutsourceOutcome {
+        self.offers_seen += 1;
+        self.script
+            .pop_front()
+            .unwrap_or(OutsourceOutcome::Accepted)
+    }
+}
+
+/// Project an instance onto one platform's ownership slice: the full
+/// worker roster (any platform may lend its workers) plus only the
+/// requests that `platform` owns. This is exactly what one federated
+/// daemon is accountable for, and the instance `validate_run` audits
+/// that daemon's projected log against.
+pub fn project_platform_instance(instance: &Instance, platform: PlatformId) -> Instance {
+    let events: Vec<ArrivalEvent> = instance
+        .stream
+        .iter()
+        .filter(|event| match event {
+            ArrivalEvent::Worker(_) => true,
+            ArrivalEvent::Request(r) => r.platform == platform,
+        })
+        .cloned()
+        .collect();
+    Instance {
+        config: instance.config.clone(),
+        platform_names: instance.platform_names.clone(),
+        histories: instance.histories.clone(),
+        stream: EventStream::from_ordered(events),
+    }
+}
+
+/// Project a finished run onto one platform's ownership slice: only the
+/// per-request records (and refused decisions) for requests `platform`
+/// owns. Memory/time metrics are carried over unchanged — they describe
+/// the session that produced the log, not the slice.
+///
+/// For **one-shot** service models the pair
+/// `(project_platform_instance(i, p), project_platform_run(r, p))`
+/// satisfies every `validate_run` invariant whenever `(i, r)` does: the
+/// log-shape check sees one record per projected request, each worker
+/// serves at most once (so its audited position is its spec position),
+/// and a sub-matching of a valid matching stays valid. Under
+/// **re-entry** models the slice is *not* self-contained: a worker may
+/// serve the rival platform between two owned requests, so its position
+/// at an owned decision depends on legs the slice omits, and the full
+/// audit's travel/range/idle replay would mis-derive them. Audit a
+/// re-entry slice with [`validate_platform_slice`], which proves every
+/// slice-provable invariant (the Definition 2.3/2.4 rules included) and
+/// leaves position continuity to the full-replica audit where it is
+/// provable.
+pub fn project_platform_run(run: &RunResult, platform: PlatformId) -> RunResult {
+    RunResult {
+        algorithm: run.algorithm.clone(),
+        assignments: run
+            .assignments
+            .iter()
+            .filter(|a| a.request.platform == platform)
+            .cloned()
+            .collect(),
+        peak_memory_bytes: run.peak_memory_bytes,
+        final_memory_bytes: run.final_memory_bytes,
+        total_decision_nanos: run.total_decision_nanos,
+        telemetry: None,
+        failures: run
+            .failures
+            .iter()
+            .filter(|f| f.request.platform == platform)
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Audit one platform's federated slice for every invariant the slice
+/// itself can prove:
+///
+/// * **log shape** — exactly one record per sliced request, in arrival
+///   order, each matching its spec verbatim;
+/// * **ownership** — every record belongs to `platform`;
+/// * **cross-platform rules** (Definition 2.3) — inner assignments use
+///   an own-platform worker, outer assignments a genuinely foreign one,
+///   and the recorded worker platform matches the roster;
+/// * **payment bound** (Definition 2.4) — outer payments lie in
+///   `(0, v_r]`, inner assignments and rejections carry none.
+///
+/// Position-continuity checks (range, idleness, travel arithmetic) need
+/// the worker's full cross-platform trajectory, which a re-entry slice
+/// deliberately omits (see [`project_platform_run`]); they are audited
+/// on each daemon's full-replica log instead. For one-shot service
+/// models the slice *is* self-contained, and this function additionally
+/// runs the full [`crate::validate_run`] over it.
+pub fn validate_platform_slice(
+    slice: &Instance,
+    run: &RunResult,
+    platform: PlatformId,
+) -> Vec<String> {
+    const EPS: f64 = 1e-9;
+    let mut findings = Vec::new();
+
+    let expected: Vec<&RequestSpec> = slice
+        .stream
+        .iter()
+        .filter_map(|event| match event {
+            ArrivalEvent::Request(r) => Some(r),
+            ArrivalEvent::Worker(_) => None,
+        })
+        .collect();
+    if expected.len() != run.assignments.len() {
+        findings.push(format!(
+            "slice streams {} requests but the log carries {} records",
+            expected.len(),
+            run.assignments.len()
+        ));
+    }
+    for (spec, a) in expected.iter().zip(&run.assignments) {
+        if a.request != **spec {
+            findings.push(format!(
+                "record for request {} does not match the streamed spec (or is out of order)",
+                spec.id.0
+            ));
+        }
+    }
+
+    let roster: std::collections::HashMap<WorkerId, PlatformId> =
+        slice.stream.workers().map(|w| (w.id, w.platform)).collect();
+    for a in &run.assignments {
+        let id = a.request.id.0;
+        if a.request.platform != platform {
+            findings.push(format!(
+                "record {id} owned by platform {}",
+                a.request.platform.0
+            ));
+        }
+        match a.kind {
+            crate::MatchKind::Rejected => {
+                if a.worker.is_some() || a.outer_payment != 0.0 || a.travel_km != 0.0 {
+                    findings.push(format!(
+                        "rejected request {id} carries a worker, payment, or travel"
+                    ));
+                }
+            }
+            crate::MatchKind::Inner | crate::MatchKind::Outer => {
+                let (Some(worker), Some(worker_platform)) = (a.worker, a.worker_platform) else {
+                    findings.push(format!("served request {id} has no worker or platform"));
+                    continue;
+                };
+                match roster.get(&worker) {
+                    None => findings.push(format!(
+                        "request {id} served by unrostered worker {}",
+                        worker.0
+                    )),
+                    Some(home) if *home != worker_platform => findings.push(format!(
+                        "request {id} records worker {} on platform {} but the roster says {}",
+                        worker.0, worker_platform.0, home.0
+                    )),
+                    Some(_) => {}
+                }
+                if a.kind == crate::MatchKind::Inner {
+                    if worker_platform != platform {
+                        findings.push(format!(
+                            "inner request {id} served by foreign worker {}",
+                            worker.0
+                        ));
+                    }
+                    if a.outer_payment != 0.0 {
+                        findings.push(format!("inner request {id} carries an outer payment"));
+                    }
+                } else {
+                    if worker_platform == platform {
+                        findings.push(format!(
+                            "outer request {id} served by an own-platform worker"
+                        ));
+                    }
+                    if !(a.outer_payment > 0.0 && a.outer_payment <= a.request.value + EPS) {
+                        findings.push(format!(
+                            "outer request {id} payment {} outside (0, {}]",
+                            a.outer_payment, a.request.value
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if !slice.config.service.reentry {
+        for f in crate::validate_run(slice, run) {
+            findings.push(format!("{f:?}"));
+        }
+    }
+    findings
+}
+
+/// Merge per-platform run projections back into one full run, using the
+/// instance's request arrival order as the reference spine. Each request
+/// record is taken from the projection of the platform that *owns* the
+/// request (`project_platform_run`'s slicing rule), so merging the two
+/// federated daemons' `bye.fed` logs reconstructs exactly the run a
+/// single-process session would have produced — the byte-identity check
+/// `matchfed` performs.
+///
+/// Typed errors (returned, never panicked):
+/// - a part contains a record for a request the instance doesn't stream;
+/// - two parts (or one part twice) carry the same request;
+/// - the owner's part is missing a streamed request's record.
+///
+/// Memory peaks take the max across parts and decision nanos sum; both
+/// are outside [`com-bench`'s canonical projection][c] so they never
+/// affect digest comparison. Telemetry is dropped (it is per-session).
+///
+/// [c]: https://en.wikipedia.org/wiki/Fowler%E2%80%93Noll%E2%80%93Vo_hash_function
+pub fn merge_platform_runs(
+    instance: &Instance,
+    parts: &[(PlatformId, &RunResult)],
+) -> Result<RunResult, String> {
+    use std::collections::HashMap;
+    let mut records: HashMap<u64, crate::Assignment> = HashMap::new();
+    let mut failures: HashMap<u64, crate::engine::DecisionFailure> = HashMap::new();
+    for (platform, part) in parts {
+        for a in &part.assignments {
+            if a.request.platform != *platform {
+                return Err(format!(
+                    "part for platform {} carries request {} owned by platform {}",
+                    platform.0, a.request.id.0, a.request.platform.0
+                ));
+            }
+            if records.insert(a.request.id.as_u64(), a.clone()).is_some() {
+                return Err(format!("duplicate record for request {}", a.request.id.0));
+            }
+        }
+        for f in &part.failures {
+            failures.insert(f.request.id.as_u64(), f.clone());
+        }
+    }
+    let mut assignments = Vec::new();
+    let mut merged_failures = Vec::new();
+    for event in instance.stream.iter() {
+        if let ArrivalEvent::Request(r) = event {
+            match records.remove(&r.id.as_u64()) {
+                Some(a) => assignments.push(a),
+                None => {
+                    return Err(format!(
+                        "no part carries a record for request {} (owner platform {})",
+                        r.id.0, r.platform.0
+                    ))
+                }
+            }
+            if let Some(f) = failures.remove(&r.id.as_u64()) {
+                merged_failures.push(f);
+            }
+        }
+    }
+    if let Some(id) = records.keys().next() {
+        return Err(format!(
+            "part record for request {id} not present in the instance stream"
+        ));
+    }
+    Ok(RunResult {
+        algorithm: parts
+            .first()
+            .map(|(_, p)| p.algorithm.clone())
+            .unwrap_or_default(),
+        assignments,
+        peak_memory_bytes: parts
+            .iter()
+            .map(|(_, p)| p.peak_memory_bytes)
+            .max()
+            .unwrap_or(0),
+        final_memory_bytes: parts
+            .iter()
+            .map(|(_, p)| p.final_memory_bytes)
+            .max()
+            .unwrap_or(0),
+        total_decision_nanos: parts.iter().map(|(_, p)| p.total_decision_nanos).sum(),
+        telemetry: None,
+        failures: merged_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{try_run_online, validate_run, DemCom, MatchKind, RamCom};
+    use com_geo::Point;
+    use com_pricing::WorkerHistory;
+    use com_sim::{EventStream, RequestId, ServiceModel, Timestamp, WorkerSpec, WorldConfig};
+    use std::collections::HashMap;
+
+    /// Two platforms, each with requests only the *other* platform's
+    /// idle worker can reach mid-stream, so both directions of
+    /// outsourcing occur in one run.
+    fn cross_instance() -> Instance {
+        let p0 = PlatformId(0);
+        let p1 = PlatformId(1);
+        let ts = Timestamp::from_secs;
+        let workers = vec![
+            WorkerSpec::new(WorkerId(1), p0, ts(1.0), Point::new(1.0, 1.0), 1.0),
+            WorkerSpec::new(WorkerId(2), p0, ts(2.0), Point::new(5.0, 5.0), 1.0),
+            WorkerSpec::new(WorkerId(3), p1, ts(3.0), Point::new(1.5, 1.0), 1.0),
+            WorkerSpec::new(WorkerId(4), p1, ts(4.0), Point::new(5.5, 5.0), 1.0),
+        ];
+        let requests = vec![
+            RequestSpec::new(RequestId(1), p0, ts(5.0), Point::new(1.2, 1.0), 4.0),
+            RequestSpec::new(RequestId(2), p1, ts(6.0), Point::new(5.4, 5.0), 6.0),
+            RequestSpec::new(RequestId(3), p0, ts(7.0), Point::new(1.4, 1.0), 5.0),
+            RequestSpec::new(RequestId(4), p1, ts(8.0), Point::new(5.2, 5.0), 3.0),
+        ];
+        let mut histories = HashMap::new();
+        for id in 1..=4 {
+            histories.insert(WorkerId(id), WorkerHistory::from_values(vec![0.1]));
+        }
+        let mut config = WorldConfig::city(10.0);
+        config.service = ServiceModel::one_shot();
+        Instance {
+            config,
+            platform_names: vec!["A".into(), "B".into()],
+            histories,
+            stream: EventStream::from_specs(workers, requests),
+        }
+    }
+
+    fn sample_request() -> RequestSpec {
+        RequestSpec::new(
+            RequestId(1),
+            PlatformId(0),
+            Timestamp::from_secs(1.0),
+            Point::new(1.0, 1.0),
+            5.0,
+        )
+    }
+
+    #[test]
+    fn local_channel_accepts_everything() {
+        let mut ch = LocalOutsource;
+        let out = ch.offer(&sample_request(), WorkerId(7), PlatformId(1), 2.5);
+        assert!(out.is_accepted());
+    }
+
+    #[test]
+    fn scripted_channel_replays_then_accepts() {
+        let mut ch = ScriptedOutsource::new(vec![
+            OutsourceOutcome::Rejected(OutsourceReject::Desync),
+            OutsourceOutcome::TimedOut,
+        ]);
+        let r = sample_request();
+        assert_eq!(
+            ch.offer(&r, WorkerId(1), PlatformId(1), 1.0),
+            OutsourceOutcome::Rejected(OutsourceReject::Desync)
+        );
+        assert_eq!(
+            ch.offer(&r, WorkerId(1), PlatformId(1), 1.0),
+            OutsourceOutcome::TimedOut
+        );
+        assert!(ch.offer(&r, WorkerId(1), PlatformId(1), 1.0).is_accepted());
+        assert_eq!(ch.offers_seen, 3);
+    }
+
+    #[test]
+    fn reject_codes_round_trip() {
+        for reject in [
+            OutsourceReject::NotMyWorker,
+            OutsourceReject::BadPayment,
+            OutsourceReject::Expired,
+            OutsourceReject::Desync,
+            OutsourceReject::UnknownSession,
+            OutsourceReject::Other("peer-gone".into()),
+        ] {
+            assert_eq!(OutsourceReject::from_code(reject.code()), reject);
+        }
+    }
+
+    #[test]
+    fn platform_projections_cover_the_run_and_audit_silently() {
+        for (seed, matcher_is_demcom) in [(7u64, true), (11, false), (42, true)] {
+            let instance = cross_instance();
+            let run = if matcher_is_demcom {
+                try_run_online(&instance, &mut DemCom::default(), seed)
+            } else {
+                try_run_online(&instance, &mut RamCom::default(), seed)
+            };
+            assert!(validate_run(&instance, &run).is_empty());
+
+            let mut projected_total = 0;
+            for p in [PlatformId(0), PlatformId(1)] {
+                let pi = project_platform_instance(&instance, p);
+                let pr = project_platform_run(&run, p);
+                assert_eq!(pi.request_count(), pr.assignments.len());
+                assert_eq!(pi.worker_count(), instance.worker_count());
+                projected_total += pr.assignments.len();
+                let findings = validate_run(&pi, &pr);
+                assert!(
+                    findings.is_empty(),
+                    "platform {p:?} projection should audit silently: {findings:?}"
+                );
+                let slice_findings = validate_platform_slice(&pi, &pr, p);
+                assert!(
+                    slice_findings.is_empty(),
+                    "platform {p:?} slice audit should be silent: {slice_findings:?}"
+                );
+                assert!(pr.assignments.iter().all(|a| a.request.platform == p));
+            }
+            assert_eq!(projected_total, run.assignments.len());
+        }
+    }
+
+    #[test]
+    fn slice_audit_flags_payment_and_platform_violations() {
+        let instance = cross_instance();
+        let run = try_run_online(&instance, &mut DemCom::default(), 7);
+        let p = PlatformId(0);
+        let pi = project_platform_instance(&instance, p);
+        let clean = project_platform_run(&run, p);
+        assert!(validate_platform_slice(&pi, &clean, p).is_empty());
+
+        // Outer payment pushed above v_r: Definition 2.4 violation.
+        let mut bad = clean.clone();
+        if let Some(a) = bad
+            .assignments
+            .iter_mut()
+            .find(|a| a.kind == MatchKind::Outer)
+        {
+            a.outer_payment = a.request.value + 1.0;
+            let findings = validate_platform_slice(&pi, &bad, p);
+            assert!(
+                findings.iter().any(|f| f.contains("payment")),
+                "{findings:?}"
+            );
+        }
+
+        // An inner record claiming a foreign worker: Definition 2.3
+        // violation.
+        let mut bad = clean.clone();
+        if let Some(a) = bad
+            .assignments
+            .iter_mut()
+            .find(|a| a.kind == MatchKind::Inner)
+        {
+            a.worker_platform = Some(PlatformId(1));
+            let findings = validate_platform_slice(&pi, &bad, p);
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.contains("foreign worker") || f.contains("roster says")),
+                "{findings:?}"
+            );
+        }
+
+        // A dropped record breaks log shape.
+        let mut bad = clean.clone();
+        bad.assignments.pop();
+        let findings = validate_platform_slice(&pi, &bad, p);
+        assert!(
+            findings.iter().any(|f| f.contains("records")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn merging_platform_projections_rebuilds_the_run() {
+        for seed in [7u64, 11, 42] {
+            let instance = cross_instance();
+            let run = try_run_online(&instance, &mut DemCom::default(), seed);
+            let a = project_platform_run(&run, PlatformId(0));
+            let b = project_platform_run(&run, PlatformId(1));
+            // Merge is order-insensitive in the parts list: the instance
+            // stream is the spine.
+            for parts in [
+                vec![(PlatformId(0), &a), (PlatformId(1), &b)],
+                vec![(PlatformId(1), &b), (PlatformId(0), &a)],
+            ] {
+                let merged = merge_platform_runs(&instance, &parts).expect("merge succeeds");
+                assert_eq!(merged.assignments, run.assignments);
+                assert_eq!(merged.failures, run.failures);
+                assert!((merged.total_revenue() - run.total_revenue()).abs() < 1e-12);
+                assert!(validate_run(&instance, &merged).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_missing_duplicate_and_foreign_records() {
+        let instance = cross_instance();
+        let run = try_run_online(&instance, &mut DemCom::default(), 7);
+        let a = project_platform_run(&run, PlatformId(0));
+        let b = project_platform_run(&run, PlatformId(1));
+
+        // Missing: platform 1's part absent entirely.
+        let err = merge_platform_runs(&instance, &[(PlatformId(0), &a)]).unwrap_err();
+        assert!(err.contains("no part carries a record"), "{err}");
+
+        // Duplicate: the same part listed twice.
+        let err = merge_platform_runs(&instance, &[(PlatformId(0), &a), (PlatformId(0), &a)])
+            .unwrap_err();
+        assert!(err.contains("duplicate record"), "{err}");
+
+        // Foreign: a part labeled with the wrong owning platform.
+        let err = merge_platform_runs(&instance, &[(PlatformId(1), &a), (PlatformId(0), &b)])
+            .unwrap_err();
+        assert!(err.contains("owned by platform"), "{err}");
+
+        // Unknown request: a record the instance never streamed.
+        let mut extra = a.clone();
+        let mut ghost = extra.assignments[0].clone();
+        ghost.request.id = RequestId(9_999);
+        extra.assignments.push(ghost);
+        let err = merge_platform_runs(&instance, &[(PlatformId(0), &extra), (PlatformId(1), &b)])
+            .unwrap_err();
+        assert!(err.contains("not present in the instance stream"), "{err}");
+    }
+
+    #[test]
+    fn projected_revenue_splits_the_total() {
+        let instance = cross_instance();
+        let run = try_run_online(&instance, &mut DemCom::default(), 3);
+        assert!(
+            run.assignments.iter().any(|a| a.kind == MatchKind::Outer),
+            "fixture should exercise outsourcing"
+        );
+        let a = project_platform_run(&run, PlatformId(0));
+        let b = project_platform_run(&run, PlatformId(1));
+        let split: f64 = a
+            .assignments
+            .iter()
+            .chain(b.assignments.iter())
+            .map(|x| x.platform_revenue())
+            .sum();
+        assert!((split - run.total_revenue()).abs() < 1e-9);
+        // Outer assignments in one slice are payments owed to the other.
+        for x in a.assignments.iter().chain(b.assignments.iter()) {
+            if x.kind == MatchKind::Outer {
+                assert!(x.outer_payment > 0.0 && x.outer_payment <= x.request.value + 1e-9);
+            }
+        }
+    }
+}

@@ -35,13 +35,14 @@ use rand::SeedableRng;
 
 use com_pricing::WorkerHistory;
 use com_sim::{
-    ArrivalEvent, Assignment, ConstraintViolation, Instance, MatchKind, RequestSpec, Timestamp,
-    Value, World, WorldConfig,
+    ArrivalEvent, Assignment, ConstraintViolation, Instance, MatchKind, PlatformId, RequestSpec,
+    Timestamp, Value, World, WorldConfig,
 };
 use com_stream::WorkerId;
 
 use crate::engine::{DecisionFailure, RunResult};
 use crate::matcher::{Decision, OnlineMatcher, StreamInfo};
+use crate::outsource::{LocalOutsource, OutsourceChannel, OutsourceOutcome};
 
 /// How often (in processed stream events — worker arrivals count too) the
 /// session samples `World::approx_bytes` for the peak-memory metric once
@@ -120,6 +121,17 @@ pub struct MatchSession<'m> {
     /// `run_online` wrapper panics on those, preserving the historic
     /// behaviour).
     lenient: bool,
+    /// The negotiation seam for `Decision::Outer` on owned requests.
+    /// [`LocalOutsource`] (the default) accepts every offer, preserving
+    /// the pre-federation behaviour byte for byte.
+    outsource: Box<dyn OutsourceChannel + 'm>,
+    /// `Some(p)` in federated mode: this session is accountable for
+    /// platform `p`'s requests only — outer decisions on owned requests
+    /// go through the channel, decisions on the peer's requests are
+    /// applied directly (the deterministic replica stays in lockstep).
+    /// `None` (the default) owns every platform.
+    owned_platform: Option<PlatformId>,
+    degraded_offers: u64,
     assignments: Vec<Assignment>,
     failures: Vec<DecisionFailure>,
     peak: usize,
@@ -188,6 +200,9 @@ impl<'m> MatchSession<'m> {
             algorithm,
             histories,
             lenient: true,
+            outsource: Box::new(LocalOutsource),
+            owned_platform: None,
+            degraded_offers: 0,
             assignments,
             failures: Vec::new(),
             peak,
@@ -203,6 +218,39 @@ impl<'m> MatchSession<'m> {
     pub fn with_strict_decisions(mut self, strict: bool) -> Self {
         self.lenient = !strict;
         self
+    }
+
+    /// Substitute the outsourcing channel consulted before any
+    /// `Decision::Outer` on an owned request is applied. The default
+    /// [`LocalOutsource`] accepts everything.
+    pub fn with_outsource_channel(mut self, channel: Box<dyn OutsourceChannel + 'm>) -> Self {
+        self.outsource = channel;
+        self
+    }
+
+    /// Restrict accountability to one platform (federated mode): outer
+    /// decisions for `platform`'s requests go through the outsourcing
+    /// channel; decisions for other platforms' requests are applied
+    /// directly, keeping this replica in lockstep with its peers.
+    pub fn with_owned_platform(mut self, platform: Option<PlatformId>) -> Self {
+        self.owned_platform = platform;
+        self
+    }
+
+    /// The platform this session is accountable for (`None` = all).
+    pub fn owned_platform(&self) -> Option<PlatformId> {
+        self.owned_platform
+    }
+
+    /// Whether this session is accountable for `platform`'s requests.
+    pub fn owns(&self, platform: PlatformId) -> bool {
+        self.owned_platform.is_none_or(|p| p == platform)
+    }
+
+    /// Outer decisions degraded to rejects because the peer declined or
+    /// timed out.
+    pub fn degraded_offers(&self) -> u64 {
+        self.degraded_offers
     }
 
     /// Feed one arrival event. Worker arrivals register (if needed) and
@@ -231,6 +279,51 @@ impl<'m> MatchSession<'m> {
                 let nanos = started.elapsed().as_nanos() as u64;
                 drop(span);
                 self.total_nanos += nanos;
+                // An outer decision on an owned request is an offer to
+                // the rival platform — the channel must accept before it
+                // can be applied. Negotiation time is deliberately kept
+                // out of `decision_nanos` (the paper's response-time
+                // metric measures the algorithm, not the peer's RTT).
+                let decision = match decision {
+                    Decision::Outer {
+                        worker,
+                        platform,
+                        payment,
+                    } if self.owns(request.platform) => {
+                        match self.outsource.offer(request, worker, platform, payment) {
+                            OutsourceOutcome::Accepted => Decision::Outer {
+                                worker,
+                                platform,
+                                payment,
+                            },
+                            OutsourceOutcome::Rejected(reject) => {
+                                self.degraded_offers += 1;
+                                com_obs::counter_add("fed.offers_degraded", 1);
+                                com_obs::counter_add(
+                                    match reject {
+                                        crate::outsource::OutsourceReject::Expired => {
+                                            "fed.offers_degraded.expired"
+                                        }
+                                        _ => "fed.offers_degraded.rejected",
+                                    },
+                                    1,
+                                );
+                                Decision::Reject {
+                                    was_cooperative_offer: true,
+                                }
+                            }
+                            OutsourceOutcome::TimedOut => {
+                                self.degraded_offers += 1;
+                                com_obs::counter_add("fed.offers_degraded", 1);
+                                com_obs::counter_add("fed.offers_degraded.timeout", 1);
+                                Decision::Reject {
+                                    was_cooperative_offer: true,
+                                }
+                            }
+                        }
+                    }
+                    other => other,
+                };
                 match try_apply_decision(&mut self.world, request, decision, nanos) {
                     Ok(assignment) => {
                         self.assignments.push(assignment.clone());
@@ -582,6 +675,65 @@ mod tests {
             err,
             ConstraintViolation::WorkerArrivedTwice { .. }
         ));
+    }
+
+    #[test]
+    fn declined_offer_degrades_to_cooperative_reject() {
+        use crate::outsource::{OutsourceOutcome, OutsourceReject, ScriptedOutsource};
+        let instance = tiny_instance();
+        // DemCom on tiny_instance: r1 goes inner to w1, r2 finds only the
+        // outer worker w2 — the one offer in the run.
+        let baseline = crate::try_run_online(&instance, &mut DemCom::default(), 7);
+        assert!(baseline
+            .assignments
+            .iter()
+            .any(|a| a.kind == MatchKind::Outer));
+
+        for script in [
+            OutsourceOutcome::TimedOut,
+            OutsourceOutcome::Rejected(OutsourceReject::Desync),
+        ] {
+            let mut session = MatchSession::for_instance(&instance, Box::new(DemCom::default()), 7)
+                .with_outsource_channel(Box::new(ScriptedOutsource::new(vec![script])));
+            for event in instance.stream.iter() {
+                session.ingest(event).unwrap();
+            }
+            assert_eq!(session.degraded_offers(), 1);
+            let run = session.finish();
+            let degraded = run
+                .assignments
+                .iter()
+                .find(|a| a.request.id == RequestId(2))
+                .unwrap();
+            assert_eq!(degraded.kind, MatchKind::Rejected);
+            assert!(degraded.was_cooperative_offer);
+            assert_eq!(degraded.outer_payment, 0.0);
+            // The degraded log still satisfies every paper invariant.
+            assert!(crate::validate_run(&instance, &run).is_empty());
+        }
+    }
+
+    #[test]
+    fn non_owned_requests_bypass_the_channel() {
+        use crate::outsource::{OutsourceOutcome, ScriptedOutsource};
+        let instance = tiny_instance();
+        // Owning platform 1 means the (platform 0) requests are the
+        // peer's: outer decisions apply directly, the scripted timeout is
+        // never consulted, and the run matches the unfederated baseline.
+        let baseline = crate::try_run_online(&instance, &mut DemCom::default(), 7);
+        let mut session = MatchSession::for_instance(&instance, Box::new(DemCom::default()), 7)
+            .with_owned_platform(Some(PlatformId(1)))
+            .with_outsource_channel(Box::new(ScriptedOutsource::new(vec![
+                OutsourceOutcome::TimedOut,
+            ])));
+        assert!(!session.owns(PlatformId(0)));
+        assert!(session.owns(PlatformId(1)));
+        for event in instance.stream.iter() {
+            session.ingest(event).unwrap();
+        }
+        assert_eq!(session.degraded_offers(), 0);
+        let run = session.finish();
+        assert_eq!(decision_keys(&run), decision_keys(&baseline));
     }
 
     #[test]

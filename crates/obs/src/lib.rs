@@ -69,3 +69,15 @@ pub const PHASE_SERVE_ENCODE: &str = "encode";
 /// (or the buffer crosses its threshold), so per-event cost is this
 /// span's total divided by events, not its mean.
 pub const PHASE_SERVE_FLUSH: &str = "flush";
+
+// Federation phases (the inter-daemon outsourcing path; see com-serve's
+// peer link and com-fed's `matchfed` driver).
+
+/// One outsourcing offer round-trip to the rival platform's daemon:
+/// encode + send + block for `outsource_accept`/`outsource_reject` (or
+/// local deadline). Deliberately *outside* [`PHASE_DECISION`] — the
+/// peer's RTT is a property of the federation link, not the algorithm.
+pub const PHASE_FED_OFFER: &str = "fed-offer";
+/// Validating one inbound offer against the local replica on the lender
+/// side (lookup + accept/reject encode).
+pub const PHASE_FED_LEND: &str = "fed-lend";

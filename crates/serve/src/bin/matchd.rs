@@ -49,6 +49,25 @@
 
 use com_serve::{serve, Placement, ServerConfig};
 
+/// Write the bound address atomically: scripts poll `--addr-file` and
+/// must never observe a half-written address, so the text lands in a
+/// sibling temp file first and renames into place (rename within one
+/// directory is atomic on POSIX).
+fn write_addr_file(path: &str, addr: &str) -> std::io::Result<()> {
+    let target = std::path::Path::new(path);
+    let tmp = match target.file_name() {
+        Some(name) => target.with_file_name(format!(".{}.tmp", name.to_string_lossy())),
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "addr-file path has no file name",
+            ))
+        }
+    };
+    std::fs::write(&tmp, addr)?;
+    std::fs::rename(&tmp, target)
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: matchd [--addr HOST:PORT] [--addr-file FILE] [--queue N] \
@@ -120,7 +139,7 @@ fn main() {
     });
     println!("matchd listening on {} ({shards} shard(s))", handle.addr());
     if let Some(path) = addr_file {
-        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+        if let Err(e) = write_addr_file(&path, &handle.addr().to_string()) {
             eprintln!("matchd: cannot write {path}: {e}");
             std::process::exit(1);
         }

@@ -387,6 +387,7 @@ pub fn replay_scenario(
         max_value: instance.max_value(),
         frame: Some(options.frame.as_str().to_string()),
         origin: None,
+        fed: None,
     });
     let (response, mut busy) = client.rpc(&hello)?;
     match response {

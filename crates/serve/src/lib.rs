@@ -33,6 +33,7 @@
 //! `sync_channel` — no new dependencies.
 
 pub mod client;
+pub mod fed;
 pub mod framing;
 pub mod loadgen;
 pub mod protocol;
@@ -43,15 +44,17 @@ pub mod shard;
 pub mod trace;
 
 pub use client::{replay_scenario, Client, ReplayOptions, ReplayReport};
+pub use fed::{FedShared, WireOutsource, DEFAULT_OFFER_DEADLINE_MS};
 pub use framing::{
     decode_msg, decode_payload, encode_frame, write_frame, FrameError, WireFormat, FRAME_MAGIC,
     MAX_FRAME_PAYLOAD, MAX_LINE_BYTES,
 };
 pub use loadgen::{drive_multi, MultiOptions, MultiReport, SessionOutcome};
 pub use protocol::{
-    decode_client, decode_client_frame, decode_server, decode_server_frame, encode, ByeMsg,
-    ClientFrame, ClientMsg, CounterRow, DecodeError, DeepStatsMsg, ErrorMsg, GaugeRow, Hello,
-    PhaseRow, ServerFrame, ServerMsg, ShardRow, StatsMsg, WorkerMsg,
+    client_frame_from_content, decode_client, decode_client_frame, decode_server,
+    decode_server_frame, encode, server_frame_from_content, ByeMsg, ClientFrame, ClientMsg,
+    CounterRow, DecodeError, DeepStatsMsg, ErrorMsg, FedByeMsg, FedHello, FedStatsMsg, GaugeRow,
+    Hello, OfferMsg, PhaseRow, ServerFrame, ServerMsg, ShardRow, StatsMsg, WorkerMsg,
 };
 pub use replay::{
     read_trace, record_session, replay_trace, Divergence, TraceReplayOptions, TraceReplayReport,

@@ -216,6 +216,7 @@ fn drive_connection(
                 max_value: instance.max_value(),
                 frame: Some(options.frame.as_str().to_string()),
                 origin: None,
+                fed: None,
             }),
         );
     }

@@ -77,6 +77,36 @@ pub struct Hello {
     /// is placed by stable hash of its session key instead.
     #[serde(default)]
     pub origin: Option<com_geo::Point>,
+    /// Federated mode (`fedd`): this session is one platform's half of a
+    /// cross-daemon run. Absent (the default) the session owns every
+    /// platform and outsourcing decisions apply in-process, exactly the
+    /// pre-federation behaviour.
+    #[serde(default)]
+    pub fed: Option<FedHello>,
+}
+
+/// Federation half of `hello`: which platform this daemon *owns* and how
+/// to reach the rival daemon when an outsourcing decision must become a
+/// wire offer. Both daemons replay the full event stream (deterministic
+/// replica); only decisions on owned requests negotiate over the link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FedHello {
+    /// The platform this daemon owns (index into `platforms`).
+    pub platform: u16,
+    /// Cross-daemon session binding: offers between the paired sessions
+    /// carry this id, and the lender routes inbound offers to the session
+    /// that registered it. Must be unique per daemon.
+    pub fed_sid: u64,
+    /// The rival daemon's `host:port` for the outgoing peer link. Absent
+    /// means lend-only: this session answers inbound offers but degrades
+    /// its own outer decisions to cooperative rejects.
+    #[serde(default)]
+    pub peer: Option<String>,
+    /// Per-offer deadline in milliseconds. An offer unanswered past this
+    /// deadline times out borrower-side (and is refused lender-side as
+    /// `expired` if it arrives late). Absent uses the server default.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 /// A worker arrival, optionally carrying the worker's acceptance history
@@ -87,6 +117,33 @@ pub struct WorkerMsg {
     pub spec: WorkerSpec,
     #[serde(default)]
     pub history: Option<WorkerHistory>,
+}
+
+/// One inter-daemon outsourcing offer (Definition 2.4 over the wire):
+/// the borrowing daemon's matcher decided `Outer { worker, payment }` for
+/// an owned request and asks the lender — the daemon owning `worker` — to
+/// confirm the lend before the assignment is applied. The lender answers
+/// exactly once with `outsource_accept` or `outsource_reject` carrying
+/// the same `(fed_sid, offer)` pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfferMsg {
+    /// The borrower's federation session binding (see [`FedHello`]).
+    pub fed_sid: u64,
+    /// Offer sequence number, unique per peer link; the reply routing
+    /// key. Retries of the same offer reuse the number (idempotent).
+    pub offer: u64,
+    /// The request being outsourced, verbatim.
+    pub request: RequestSpec,
+    /// The rival worker the borrower wants, and the platform it believes
+    /// that worker belongs to.
+    pub worker: com_sim::WorkerId,
+    pub worker_platform: com_sim::PlatformId,
+    /// The outsourcing payment `v'` ∈ `(0, v_r]` (Definition 2.4).
+    pub payment: f64,
+    /// Borrower-side deadline for this offer, milliseconds from send. A
+    /// reply after the deadline is stale; the borrower has already
+    /// degraded the decision to a cooperative reject.
+    pub deadline_ms: u64,
 }
 
 /// Client → server messages. Lowercase variant names are the wire tags
@@ -105,13 +162,19 @@ pub enum ClientMsg {
     /// Deep telemetry: the [`StatsMsg`] counters plus the session's full
     /// `RunTelemetry` phase table and serving-path counters/gauges.
     stats_deep,
+    /// Inter-daemon outsourcing offer (peer link only): the rival daemon
+    /// asks this daemon to confirm lending one of its workers. Answered
+    /// with `outsource_accept`/`outsource_reject`, never `ok`.
+    outsource_offer(OfferMsg),
     shutdown,
 }
 
 /// A structured protocol error. `code` is machine-matchable:
-/// `bad-json`, `bad-frame`, `unknown-message`, `no-session`,
-/// `unknown-sid`, `duplicate-hello`, `unknown-matcher`, `constraint`,
-/// `oversized-line`, `oversized-frame`.
+/// `bad-json`, `bad-frame`, `bad-envelope`, `unknown-message`,
+/// `no-session`, `unknown-sid`, `duplicate-hello`, `unknown-matcher`,
+/// `constraint`, `oversized-line`, `oversized-frame`, and the federation
+/// rejection codes carried by `outsource_reject` (`not-my-worker`,
+/// `bad-payment`, `expired`, `desync`, `unknown-fed-session`).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorMsg {
     pub code: String,
@@ -225,6 +288,16 @@ pub struct DeepStatsMsg {
     /// so reports from pre-framing servers still parse.
     #[serde(default)]
     pub oversized_rejected: u64,
+    /// Malformed mux envelopes this connection rejected with the typed
+    /// `bad-envelope` error: a top-level `sid` that is not a non-negative
+    /// integer, or an envelope with `sid` but no `msg`. `#[serde(default)]`
+    /// so reports from pre-federation servers still parse.
+    #[serde(default)]
+    pub bad_envelope_rejected: u64,
+    /// Federation link health for this session, present only in `fedd`
+    /// mode (the session carries a [`FedHello`]).
+    #[serde(default)]
+    pub federation: Option<FedStatsMsg>,
     /// The shard executor that owns the queried session. Absent in
     /// reports from pre-shard servers.
     #[serde(default)]
@@ -264,6 +337,54 @@ impl DeepStatsMsg {
     }
 }
 
+/// Federation link health (`stats_deep.federation`): one session's view
+/// of both sides of the outsourcing protocol — offers it sent as the
+/// borrower and offers it answered as the lender.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FedStatsMsg {
+    /// The platform this session owns.
+    pub platform: u16,
+    /// Outgoing offers sent over the peer link (retries not recounted).
+    pub offers_sent: u64,
+    pub offers_accepted: u64,
+    /// Offers the peer rejected with a typed code.
+    pub offers_rejected: u64,
+    /// Offers that hit the local deadline with no usable reply.
+    pub offers_timed_out: u64,
+    /// Offers re-sent once after a link hiccup (idempotent retry).
+    pub offers_retried: u64,
+    /// Replies that arrived after their offer's deadline and were
+    /// dropped (the decision had already degraded).
+    pub stale_replies: u64,
+    /// Inbound offers received from the peer (lender side).
+    pub offers_received: u64,
+    /// Inbound offers confirmed (`outsource_accept`).
+    pub lends_granted: u64,
+    /// Inbound offers refused (`outsource_reject`), any code.
+    pub lends_rejected: u64,
+}
+
+/// Federation half of `bye` (`fedd` mode only): this daemon's
+/// per-platform view of the finished run — the canonical projection of
+/// *owned* requests, its digest, and the platform's books. `matchfed`
+/// merges the two daemons' halves and verifies the merge against a local
+/// single-process replay, byte for byte.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FedByeMsg {
+    /// The platform this session owned.
+    pub platform: u16,
+    /// `canonical_run_json` of the owned-requests projection.
+    pub canonical: serde_json::Value,
+    /// `canonical_run_digest` over `canonical`.
+    pub digest: String,
+    /// This platform's revenue books over the full replica log: revenue
+    /// on owned requests plus outsourcing payments earned by lending.
+    pub ledger: com_sim::PlatformLedger,
+    /// Offers degraded to cooperative rejects because the peer refused,
+    /// timed out, or was unreachable. Zero for a byte-identical merge.
+    pub degraded_offers: u64,
+}
+
 /// Final session report (`bye` response): the run summary, every audit
 /// finding `com_core::validate_run` produced on the reconstructed
 /// instance, and the deterministic `canonical_run_json` projection so a
@@ -284,6 +405,9 @@ pub struct ByeMsg {
     /// `#[serde(default)]` (empty) when talking to a pre-shard server.
     #[serde(default)]
     pub digest: String,
+    /// Federation half of the report, present only in `fedd` mode.
+    #[serde(default)]
+    pub fed: Option<FedByeMsg>,
 }
 
 /// Server → client messages.
@@ -316,6 +440,22 @@ pub enum ServerMsg {
     /// Boxed: the phase tables make this variant much larger than the
     /// rest of the enum.
     stats_deep(Box<DeepStatsMsg>),
+    /// The lender confirms the offer: the borrower may apply the outer
+    /// assignment exactly as decided.
+    outsource_accept {
+        fed_sid: u64,
+        offer: u64,
+    },
+    /// The lender refuses the offer. `code` is one of the typed
+    /// federation rejection codes (`not-my-worker`, `bad-payment`,
+    /// `expired`, `desync`, `unknown-fed-session`); the borrower degrades
+    /// the decision to a cooperative reject.
+    outsource_reject {
+        fed_sid: u64,
+        offer: u64,
+        code: String,
+        detail: String,
+    },
     bye(ByeMsg),
 }
 
@@ -327,6 +467,11 @@ pub enum DecodeError {
     BadJson(String),
     /// Binary framing only: the payload bytes do not decode to a value.
     BadFrame(String),
+    /// A mux envelope that is structurally broken: a top-level `sid`
+    /// that is not a non-negative integer, or `sid` without `msg`. Typed
+    /// separately from [`DecodeError::UnknownMessage`] so servers can
+    /// answer with the `bad-envelope` error code and count it.
+    BadEnvelope(String),
     UnknownMessage(String),
 }
 
@@ -335,6 +480,7 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::BadJson(d) => write!(f, "bad json: {d}"),
             DecodeError::BadFrame(d) => write!(f, "bad frame: {d}"),
+            DecodeError::BadEnvelope(d) => write!(f, "bad envelope: {d}"),
             DecodeError::UnknownMessage(d) => write!(f, "unknown message: {d}"),
         }
     }
@@ -449,14 +595,40 @@ impl Deserialize for ServerFrame {
     }
 }
 
+/// Split an already-decoded value tree into a typed client frame.
+/// Envelope failures (`sid` present but malformed, or `sid` without
+/// `msg`) are [`DecodeError::BadEnvelope`]; a well-formed envelope (or
+/// bare value) whose message is not a protocol message is
+/// [`DecodeError::UnknownMessage`]. The binary framing path calls this
+/// directly on the decoded frame payload.
+pub fn client_frame_from_content(content: &Content) -> Result<ClientFrame, DecodeError> {
+    let (sid, msg) = split_envelope(content).map_err(DecodeError::BadEnvelope)?;
+    let msg =
+        ClientMsg::from_content(msg).map_err(|e| DecodeError::UnknownMessage(e.to_string()))?;
+    Ok(ClientFrame { sid, msg })
+}
+
+/// Split an already-decoded value tree into a typed server frame (see
+/// [`client_frame_from_content`]).
+pub fn server_frame_from_content(content: &Content) -> Result<ServerFrame, DecodeError> {
+    let (sid, msg) = split_envelope(content).map_err(DecodeError::BadEnvelope)?;
+    let msg =
+        ServerMsg::from_content(msg).map_err(|e| DecodeError::UnknownMessage(e.to_string()))?;
+    Ok(ServerFrame { sid, msg })
+}
+
 /// Parse one client line, mux envelope or bare.
 pub fn decode_client_frame(line: &str) -> Result<ClientFrame, DecodeError> {
-    decode(line)
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| DecodeError::BadJson(e.to_string()))?;
+    client_frame_from_content(&value.to_content())
 }
 
 /// Parse one server line, mux envelope or bare.
 pub fn decode_server_frame(line: &str) -> Result<ServerFrame, DecodeError> {
-    decode(line)
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| DecodeError::BadJson(e.to_string()))?;
+    server_frame_from_content(&value.to_content())
 }
 
 #[cfg(test)]
@@ -521,6 +693,7 @@ mod tests {
             max_value: Some(30.0),
             frame: None,
             origin: None,
+            fed: None,
         });
         let back = decode_client(&encode(&hello)).unwrap();
         let ClientMsg::hello(h) = back else {
@@ -529,6 +702,158 @@ mod tests {
         assert_eq!(h.matcher, "demcom");
         assert_eq!(h.world, WorldConfig::city(10.0));
         assert_eq!(h.max_value, Some(30.0));
+        assert!(h.fed.is_none());
+    }
+
+    #[test]
+    fn fed_hello_round_trips_and_defaults_off() {
+        let hello = ClientMsg::hello(Hello {
+            matcher: "demcom".into(),
+            seed: 7,
+            world: WorldConfig::city(10.0),
+            platforms: vec!["A".into(), "B".into()],
+            max_value: None,
+            frame: Some("binary".into()),
+            origin: None,
+            fed: Some(FedHello {
+                platform: 1,
+                fed_sid: 42,
+                peer: Some("127.0.0.1:9001".into()),
+                deadline_ms: Some(250),
+            }),
+        });
+        let back = decode_client(&encode(&hello)).unwrap();
+        let ClientMsg::hello(h) = back else {
+            panic!("wrong variant")
+        };
+        let fed = h.fed.expect("fed half");
+        assert_eq!(fed.platform, 1);
+        assert_eq!(fed.fed_sid, 42);
+        assert_eq!(fed.peer.as_deref(), Some("127.0.0.1:9001"));
+        assert_eq!(fed.deadline_ms, Some(250));
+        // A pre-federation hello (no `fed` key at all) still parses.
+        let modern = encode(&ClientMsg::hello(Hello {
+            matcher: "demcom".into(),
+            seed: 1,
+            world: WorldConfig::city(10.0),
+            platforms: vec!["A".into()],
+            max_value: None,
+            frame: None,
+            origin: None,
+            fed: None,
+        }));
+        let legacy = modern.replace(",\"fed\":null", "");
+        assert_ne!(legacy, modern, "fed key should have been stripped");
+        let back = decode_client(&legacy);
+        if let Ok(ClientMsg::hello(h)) = back {
+            assert!(h.fed.is_none());
+        } else {
+            panic!("legacy hello failed: {back:?}");
+        }
+    }
+
+    #[test]
+    fn outsource_messages_round_trip() {
+        let request = RequestSpec::new(
+            RequestId(9),
+            PlatformId(0),
+            Timestamp::from_secs(3.0),
+            Point::new(2.0, 1.0),
+            8.0,
+        );
+        let offer = ClientMsg::outsource_offer(OfferMsg {
+            fed_sid: 7,
+            offer: 12,
+            request,
+            worker: com_sim::WorkerId(5),
+            worker_platform: PlatformId(1),
+            payment: 3.5,
+            deadline_ms: 200,
+        });
+        let back = decode_client(&encode(&offer)).unwrap();
+        let ClientMsg::outsource_offer(o) = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(o.fed_sid, 7);
+        assert_eq!(o.offer, 12);
+        assert_eq!(o.worker, com_sim::WorkerId(5));
+        assert_eq!(o.worker_platform, PlatformId(1));
+        assert!((o.payment - 3.5).abs() < 1e-12);
+        assert_eq!(o.deadline_ms, 200);
+
+        let accept = ServerMsg::outsource_accept {
+            fed_sid: 7,
+            offer: 12,
+        };
+        let back = decode_server(&encode(&accept)).unwrap();
+        assert!(matches!(
+            back,
+            ServerMsg::outsource_accept {
+                fed_sid: 7,
+                offer: 12
+            }
+        ));
+
+        let reject = ServerMsg::outsource_reject {
+            fed_sid: 7,
+            offer: 12,
+            code: "not-my-worker".into(),
+            detail: "worker 5 is not idle on platform B".into(),
+        };
+        let back = decode_server(&encode(&reject)).unwrap();
+        let ServerMsg::outsource_reject { code, detail, .. } = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(code, "not-my-worker");
+        assert!(detail.contains("worker 5"));
+    }
+
+    #[test]
+    fn fed_bye_and_stats_round_trip() {
+        let fed = FedByeMsg {
+            platform: 0,
+            canonical: serde_json::Value::null(),
+            digest: "fnv1a64:00000000deadbeef".into(),
+            ledger: com_sim::PlatformLedger {
+                revenue: 10.5,
+                outsource_earned: 2.0,
+                workers_lent: 1,
+                ..Default::default()
+            },
+            degraded_offers: 0,
+        };
+        let bye = ByeMsg {
+            algorithm: "DemCOM".into(),
+            revenue: 10.5,
+            completed: 3,
+            cooperative: 1,
+            events: 8,
+            refused: 0,
+            audit_findings: vec![],
+            canonical: serde_json::Value::null(),
+            digest: "fnv1a64:00000000deadbeef".into(),
+            fed: Some(fed),
+        };
+        let back = decode_server(&encode(&ServerMsg::bye(bye))).unwrap();
+        let ServerMsg::bye(b) = back else {
+            panic!("wrong variant")
+        };
+        let fed = b.fed.expect("fed half");
+        assert_eq!(fed.platform, 0);
+        assert!((fed.ledger.outsource_earned - 2.0).abs() < 1e-12);
+        assert_eq!(fed.ledger.workers_lent, 1);
+
+        let stats = FedStatsMsg {
+            platform: 1,
+            offers_sent: 4,
+            offers_accepted: 3,
+            offers_timed_out: 1,
+            ..Default::default()
+        };
+        let line = serde_json::to_string(&stats).unwrap();
+        let back: FedStatsMsg = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.offers_sent, 4);
+        assert_eq!(back.offers_timed_out, 1);
     }
 
     #[test]
@@ -567,6 +892,7 @@ mod tests {
             queue_high_water: 7,
             busy_dropped: 0,
             oversized_rejected: 0,
+            bad_envelope_rejected: 0,
             shard: Some(2),
             shards: vec![ShardRow {
                 shard: 0,
@@ -577,6 +903,7 @@ mod tests {
                 queue_high_water: 4,
                 busy_dropped: 1,
             }],
+            federation: None,
         };
         deep.set_telemetry(&telemetry);
         assert_eq!(deep.algorithm, "DemCOM");
@@ -638,17 +965,22 @@ mod tests {
 
     #[test]
     fn malformed_envelopes_are_typed_errors() {
-        // sid without msg
+        // sid without msg: structurally broken envelope.
         assert!(matches!(
             decode_client_frame("{\"sid\":3}"),
-            Err(DecodeError::UnknownMessage(_))
+            Err(DecodeError::BadEnvelope(_))
         ));
-        // non-integer sid
+        // non-integer sid: structurally broken envelope.
         assert!(matches!(
             decode_client_frame("{\"sid\":\"x\",\"msg\":\"stats\"}"),
-            Err(DecodeError::UnknownMessage(_))
+            Err(DecodeError::BadEnvelope(_))
         ));
-        // envelope with a non-message payload
+        assert!(matches!(
+            decode_server_frame("{\"sid\":-4,\"msg\":\"ok\"}"),
+            Err(DecodeError::BadEnvelope(_))
+        ));
+        // A well-formed envelope around a non-message payload is not an
+        // envelope problem — it stays unknown-message.
         assert!(matches!(
             decode_client_frame("{\"sid\":3,\"msg\":{\"frobnicate\":1}}"),
             Err(DecodeError::UnknownMessage(_))

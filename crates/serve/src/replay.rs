@@ -189,6 +189,7 @@ pub fn replay_trace(
         max_value: meta.max_value,
         frame: meta.frame.clone(),
         origin: None,
+        fed: None,
     };
     let mut session = ServeSession::open(&hello)?;
     let mut divergences = Vec::new();
@@ -324,6 +325,7 @@ pub fn record_session(
         max_value: instance.max_value(),
         frame: None,
         origin: None,
+        fed: None,
     };
     let mut session = ServeSession::open(&hello)?;
     let recorder = TraceRecorder::create(path)

@@ -288,13 +288,17 @@ fn accept_loop(
 }
 
 /// Everything a shard needs to answer for a connection: identity, the
-/// shared writer, the per-connection oversized-rejection counter, and the
-/// `done` flag a bare-session `shutdown` uses to end the connection.
+/// shared writer, the per-connection rejection counters, and the `done`
+/// flag a bare-session `shutdown` uses to end the connection.
 #[derive(Clone)]
 pub(crate) struct ConnCtx {
     pub(crate) conn_id: u64,
     pub(crate) writer: SharedWriter,
     pub(crate) oversized: Arc<AtomicU64>,
+    /// Mux frames rejected for a malformed envelope (missing/ill-typed
+    /// `sid` or missing `msg`) — the `stats_deep.bad_envelope_rejected`
+    /// figure.
+    pub(crate) bad_envelope: Arc<AtomicU64>,
     pub(crate) done: Arc<AtomicBool>,
 }
 
@@ -304,6 +308,7 @@ impl ConnCtx {
             conn_id,
             writer,
             oversized: Arc::new(AtomicU64::new(0)),
+            bad_envelope: Arc::new(AtomicU64::new(0)),
             done: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -553,6 +558,35 @@ impl Router {
     /// Dispatch one decoded message to the shard owning its session.
     /// Returns `false` when the pool is gone (server stopping).
     fn route(&mut self, sid: Option<u64>, msg: ClientMsg, decode_ns: u64) -> bool {
+        // An outsource offer arrives on the *peer daemon's* connection,
+        // which has no (conn, sid) route to the federated session that
+        // must answer it — it routes by the shared fed_sid through the
+        // daemon-global federation registry instead, whatever connection
+        // it came in on.
+        if let ClientMsg::outsource_offer(o) = &msg {
+            let (fed_sid, offer) = (o.fed_sid, o.offer);
+            return match self.pool.fed_route(fed_sid) {
+                Some(shard) => {
+                    self.pool
+                        .try_ingress(shard, &self.ctx, sid, msg, decode_ns, &self.counters)
+                }
+                None => {
+                    self.counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.ctx.writer.send_for(
+                        sid,
+                        &ServerMsg::outsource_reject {
+                            fed_sid,
+                            offer,
+                            code: "unknown-fed-session".into(),
+                            detail: format!("no federated session with fed_sid {fed_sid}"),
+                        },
+                    );
+                    true
+                }
+            };
+        }
         let shard = match self.routes.get(&sid) {
             // Sticky for the connection's lifetime: a duplicate `hello`
             // must reach the shard that owns the live session, whatever
@@ -566,6 +600,15 @@ impl Router {
                         h.origin,
                         self.pool.shards(),
                     );
+                    // A federated hello also registers its fed_sid so the
+                    // rival daemon's offers (arriving on a *different*
+                    // connection) can find this shard. If the open later
+                    // fails the route is left dangling; offers then get
+                    // an unknown-fed-session reject from the shard, which
+                    // is the correct degradation.
+                    if let Some(fed) = &h.fed {
+                        self.pool.register_fed(fed.fed_sid, shard);
+                    }
                     self.routes.insert(sid, shard);
                     shard
                 }
@@ -601,6 +644,10 @@ impl Router {
         let response = match err {
             DecodeError::BadJson(d) => error("bad-json", d),
             DecodeError::BadFrame(d) => error("bad-frame", d),
+            DecodeError::BadEnvelope(d) => {
+                self.ctx.bad_envelope.fetch_add(1, Ordering::Relaxed);
+                error("bad-envelope", d)
+            }
             DecodeError::UnknownMessage(d) => error("unknown-message", d),
         };
         match self.routes.get(&None) {
@@ -628,12 +675,21 @@ impl IngressSink for Router {
         let started = Instant::now();
         let decoded: Result<ClientFrame, DecodeError> = match framing::decode_payload(payload) {
             Err(e) => Err(DecodeError::BadFrame(e.to_string())),
-            Ok(content) => serde::Deserialize::from_content(&content)
-                .map_err(|e: serde::Error| DecodeError::UnknownMessage(e.to_string())),
+            Ok(content) => crate::protocol::client_frame_from_content(&content),
         };
         let decode_ns = started.elapsed().as_nanos() as u64;
         match decoded {
-            Ok(ClientFrame { sid, msg }) => self.route(sid, msg, decode_ns),
+            Ok(ClientFrame { sid, msg }) => {
+                // Reply framing follows offer framing on a pure peer-link
+                // connection (no sessions of its own): a borrower sending
+                // binary offers reads binary verdicts back. Ordinary
+                // session connections negotiate framing in `hello` and
+                // are left alone.
+                if self.routes.is_empty() && matches!(msg, ClientMsg::outsource_offer(_)) {
+                    self.ctx.writer.set_format(WireFormat::Binary);
+                }
+                self.route(sid, msg, decode_ns)
+            }
             Err(e) => {
                 self.decode_error(e);
                 true

@@ -10,20 +10,46 @@
 //! session trace (see [`crate::trace`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use com_core::{
     validate_run, MatchSession, MatcherRegistry, RunResult, SessionConfig, SessionOutput,
 };
 use com_obs::Histogram;
 use com_pricing::WorkerHistory;
-use com_sim::{ArrivalEvent, ConstraintViolation, EventStream, Instance, RequestSpec, Timestamp};
+use com_sim::{
+    ArrivalEvent, ConstraintViolation, EventStream, Instance, MatchKind, PlatformId, RequestSpec,
+    Timestamp,
+};
 use com_stream::WorkerId;
 
-use crate::protocol::{ByeMsg, DeepStatsMsg, Hello, ServerMsg, StatsMsg, WorkerMsg};
+use crate::fed::{FedShared, WireOutsource, DEFAULT_OFFER_DEADLINE_MS};
+use crate::framing::WireFormat;
+use crate::protocol::{
+    ByeMsg, DeepStatsMsg, FedByeMsg, Hello, OfferMsg, ServerMsg, StatsMsg, WorkerMsg,
+};
 use crate::trace::{
     decision_from_response, TraceEvent, TraceFinish, TraceLine, TraceMeta, TraceRecorder,
     TraceTick, TRACE_VERSION,
 };
+
+/// The federated-mode state of a session: which platform this daemon
+/// owns, the shared fed counters, and the replica's record of lendable
+/// decisions (what inbound offers are validated against).
+struct FedState {
+    /// The platform this daemon owns (outer decisions on *owned*
+    /// requests negotiate over the wire; everything else applies
+    /// locally — the session is a full deterministic replica).
+    platform: PlatformId,
+    /// The federation session id both daemons share (the `hello.fed`
+    /// one); stamped on outgoing offers, matched on inbound ones.
+    fed_sid: u64,
+    shared: Arc<FedShared>,
+    /// request id → (worker, payment) for every non-owned request whose
+    /// replica decision lends one of *our* workers. The rival's offer
+    /// for that request must name exactly this worker and payment.
+    lendable: HashMap<u64, (WorkerId, f64)>,
+}
 
 /// One live matching session and everything needed to audit it at the
 /// end.
@@ -40,6 +66,7 @@ pub struct ServeSession {
     rejected: u64,
     refused: u64,
     recorder: Option<TraceRecorder>,
+    fed: Option<FedState>,
 }
 
 /// Everything a finished session reports: the run, the audit verdict,
@@ -51,6 +78,8 @@ pub struct FinishedSession {
     pub ingest_ns: Histogram,
     /// Where the session trace landed, when one was recorded and survived.
     pub trace_path: Option<std::path::PathBuf>,
+    /// `(owned platform, degraded offer count)` for a federated session.
+    fed: Option<(PlatformId, u64)>,
 }
 
 impl ServeSession {
@@ -67,7 +96,44 @@ impl ServeSession {
             histories: HashMap::new(),
             max_value_hint: hello.max_value,
         };
-        let core = MatchSession::new(config, factory(), hello.seed);
+        let mut fed = None;
+        let core = match &hello.fed {
+            None => MatchSession::new(config, factory(), hello.seed),
+            Some(f) => {
+                if usize::from(f.platform) >= hello.platforms.len() {
+                    return Err(format!(
+                        "fed.platform {} out of range: hello names {} platform(s)",
+                        f.platform,
+                        hello.platforms.len()
+                    ));
+                }
+                let platform = PlatformId(f.platform);
+                let shared = Arc::new(FedShared::default());
+                // Offers go out in the session's negotiated framing; the
+                // lender auto-detects per message and answers in kind.
+                let format = hello
+                    .frame
+                    .as_deref()
+                    .and_then(WireFormat::parse)
+                    .unwrap_or_default();
+                let channel = WireOutsource::new(
+                    f.peer.clone(),
+                    format,
+                    f.fed_sid,
+                    f.deadline_ms.unwrap_or(DEFAULT_OFFER_DEADLINE_MS),
+                    Arc::clone(&shared),
+                );
+                fed = Some(FedState {
+                    platform,
+                    fed_sid: f.fed_sid,
+                    shared,
+                    lendable: HashMap::new(),
+                });
+                MatchSession::new(config, factory(), hello.seed)
+                    .with_owned_platform(Some(platform))
+                    .with_outsource_channel(Box::new(channel))
+            }
+        };
         Ok(ServeSession {
             core,
             world_config: hello.world.clone(),
@@ -79,7 +145,13 @@ impl ServeSession {
             rejected: 0,
             refused: 0,
             recorder: None,
+            fed,
         })
+    }
+
+    /// The shared federation session id, when this session is federated.
+    pub fn fed_sid(&self) -> Option<u64> {
+        self.fed.as_ref().map(|f| f.fed_sid)
     }
 
     /// Attach a flight recorder and write the trace's meta line. `source`
@@ -171,6 +243,20 @@ impl ServeSession {
         let response = match output {
             SessionOutput::Decided(a) if a.is_completed() => {
                 self.assigned += 1;
+                // Federated replica: a non-owned request served by one of
+                // our workers is a *lend* — remember it so the rival's
+                // offer for this request can be validated byte-for-byte.
+                if let Some(fed) = &mut self.fed {
+                    if spec.platform != fed.platform
+                        && a.kind == MatchKind::Outer
+                        && a.worker_platform == Some(fed.platform)
+                    {
+                        if let Some(worker) = a.worker {
+                            fed.lendable
+                                .insert(spec.id.as_u64(), (worker, a.outer_payment));
+                        }
+                    }
+                }
                 ServerMsg::assign(a)
             }
             SessionOutput::Decided(a) => {
@@ -194,6 +280,95 @@ impl ServeSession {
             }
         }
         Ok(response)
+    }
+
+    /// Answer the rival daemon's `outsource_offer` from the lender side:
+    /// validate it against this replica's own decision for the request
+    /// and grant or refuse with a typed code (`not-my-worker`,
+    /// `expired`, `bad-payment`, `desync`).
+    ///
+    /// The replica must have *already decided* the offered request (the
+    /// driving contract sends each request to the non-owning daemon
+    /// first); an offer for an undecided or differently-decided request
+    /// is a desync, never a crash.
+    pub fn handle_offer(&mut self, o: &OfferMsg) -> ServerMsg {
+        let _span = com_obs::span(com_obs::PHASE_FED_LEND);
+        let Some(fed) = &mut self.fed else {
+            return ServerMsg::outsource_reject {
+                fed_sid: o.fed_sid,
+                offer: o.offer,
+                code: "unknown-fed-session".into(),
+                detail: "session is not federated".into(),
+            };
+        };
+        fed.shared
+            .offers_received
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let verdict: Result<(), (&str, String)> = if o.worker_platform != fed.platform {
+            Err((
+                "not-my-worker",
+                format!(
+                    "worker {} belongs to {}, this daemon owns {}",
+                    o.worker.as_u64(),
+                    o.worker_platform,
+                    fed.platform
+                ),
+            ))
+        } else if o.deadline_ms == 0 {
+            Err(("expired", "offer deadline already passed".into()))
+        } else if !(o.payment > 0.0 && o.payment <= o.request.value + 1e-9) {
+            // Definition 2.3: the outsourcing payment must lie in (0, v_r].
+            Err((
+                "bad-payment",
+                format!("payment {} outside (0, {}]", o.payment, o.request.value),
+            ))
+        } else {
+            match fed.lendable.get(&o.request.id.as_u64()) {
+                Some((worker, payment))
+                    if *worker == o.worker && (payment - o.payment).abs() < 1e-9 =>
+                {
+                    Ok(())
+                }
+                Some((worker, payment)) => Err((
+                    "desync",
+                    format!(
+                        "replica lends worker {} at {payment}, offer names worker {} at {}",
+                        worker.as_u64(),
+                        o.worker.as_u64(),
+                        o.payment
+                    ),
+                )),
+                None => Err((
+                    "desync",
+                    format!(
+                        "replica has no lendable decision for request {}",
+                        o.request.id.as_u64()
+                    ),
+                )),
+            }
+        };
+        match verdict {
+            Ok(()) => {
+                fed.shared
+                    .lends_granted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                ServerMsg::outsource_accept {
+                    fed_sid: o.fed_sid,
+                    offer: o.offer,
+                }
+            }
+            Err((code, detail)) => {
+                fed.shared
+                    .lends_rejected
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                ServerMsg::outsource_reject {
+                    fed_sid: o.fed_sid,
+                    offer: o.offer,
+                    code: code.into(),
+                    detail,
+                }
+            }
+        }
     }
 
     /// Advance the session clock without an event.
@@ -232,6 +407,7 @@ impl ServeSession {
         queue_depth: u64,
         queue_high_water: u64,
         oversized_rejected: u64,
+        bad_envelope_rejected: u64,
     ) -> DeepStatsMsg {
         let mut deep = DeepStatsMsg {
             stats: self.stats(dropped),
@@ -243,8 +419,10 @@ impl ServeSession {
             queue_high_water,
             busy_dropped: dropped,
             oversized_rejected,
+            bad_envelope_rejected,
             shard: None,
             shards: Vec::new(),
+            federation: self.fed.as_ref().map(|f| f.shared.snapshot(f.platform.0)),
         };
         if let Some(telemetry) = com_obs::snapshot_run() {
             deep.set_telemetry(&telemetry);
@@ -264,6 +442,10 @@ impl ServeSession {
             histories: self.histories,
             stream: EventStream::from_ordered(self.events),
         };
+        let fed = self
+            .fed
+            .as_ref()
+            .map(|f| (f.platform, self.core.degraded_offers()));
         let run = self.core.finish();
         let findings: Vec<String> = validate_run(&instance, &run)
             .iter()
@@ -286,12 +468,19 @@ impl ServeSession {
             instance,
             ingest_ns: self.ingest_ns,
             trace_path,
+            fed,
         }
     }
 }
 
 impl FinishedSession {
-    /// The `bye` payload for this finished session.
+    /// The `bye` payload for this finished session. For a federated
+    /// session the `fed` block carries the *owned-platform projection* —
+    /// canonical JSON, digest, and per-platform revenue ledger of just
+    /// the requests this daemon owns — which is what `matchfed` merges
+    /// and byte-compares across the two daemons. The top-level fields
+    /// stay the full replica's, so the usual single-process identity
+    /// checks keep working unchanged.
     pub fn bye(&self) -> ByeMsg {
         ByeMsg {
             algorithm: self.run.algorithm.clone(),
@@ -303,6 +492,16 @@ impl FinishedSession {
             audit_findings: self.findings.clone(),
             canonical: com_bench::runner::canonical_run_json(&self.run),
             digest: com_bench::runner::canonical_run_digest(&self.run),
+            fed: self.fed.map(|(platform, degraded_offers)| {
+                let projected = com_core::project_platform_run(&self.run, platform);
+                FedByeMsg {
+                    platform: platform.0,
+                    canonical: com_bench::runner::canonical_run_json(&projected),
+                    digest: com_bench::runner::canonical_run_digest(&projected),
+                    ledger: com_sim::PlatformLedger::for_platform(platform, &self.run.assignments),
+                    degraded_offers,
+                }
+            }),
         }
     }
 }

@@ -37,7 +37,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use com_obs::Histogram;
@@ -218,11 +218,29 @@ pub(crate) struct PoolShared {
     txs: Vec<SyncSender<ShardMsg>>,
     pub(crate) stats: Arc<Vec<ShardStats>>,
     pub(crate) placement: Placement,
+    /// Daemon-global federation routing: `fed_sid` → owning shard.
+    /// Offers arrive on the *peer's* connection, which has no `(conn,
+    /// sid)` route to the session that must answer them — they route by
+    /// the shared federation session id instead. Routers insert at
+    /// `hello` placement; the owning shard removes when the session
+    /// finishes. Off the per-event hot path (touched only on fed
+    /// `hello`s and inbound offers).
+    fed_routes: Arc<Mutex<HashMap<u64, usize>>>,
 }
 
 impl PoolShared {
     pub(crate) fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Route a fed `hello` so later offers can find its shard.
+    pub(crate) fn register_fed(&self, fed_sid: u64, shard: usize) {
+        self.fed_routes.lock().unwrap().insert(fed_sid, shard);
+    }
+
+    /// The shard that owns `fed_sid`'s session, if any.
+    pub(crate) fn fed_route(&self, fed_sid: u64) -> Option<usize> {
+        self.fed_routes.lock().unwrap().get(&fed_sid).copied()
     }
 
     /// Try to hand one decoded message to `shard`. On a full queue the
@@ -315,6 +333,7 @@ impl ShardPool {
         let n = config.shards.max(1);
         let stats = Arc::new((0..n).map(|_| ShardStats::default()).collect::<Vec<_>>());
         let next_lsid = Arc::new(AtomicU64::new(0));
+        let fed_routes = Arc::new(Mutex::new(HashMap::new()));
         let mut txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for shard in 0..n {
@@ -323,11 +342,14 @@ impl ShardPool {
             let stats = Arc::clone(&stats);
             let counters = Arc::clone(&counters);
             let next_lsid = Arc::clone(&next_lsid);
+            let fed_routes = Arc::clone(&fed_routes);
             let config = config.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("matchd-shard-{shard}"))
-                    .spawn(move || shard_loop(shard, rx, stats, config, counters, next_lsid))
+                    .spawn(move || {
+                        shard_loop(shard, rx, stats, config, counters, next_lsid, fed_routes)
+                    })
                     .expect("spawn shard thread"),
             );
         }
@@ -336,6 +358,7 @@ impl ShardPool {
                 txs,
                 stats,
                 placement: config.placement,
+                fed_routes,
             }),
             handles,
         }
@@ -359,6 +382,9 @@ struct Entry {
     lsid: u64,
     sid: Option<u64>,
     ctx: ConnCtx,
+    /// The federation session id this session registered, if federated
+    /// — what to clean out of `fed_index`/`fed_routes` when it closes.
+    fed_sid: Option<u64>,
 }
 
 fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
@@ -372,6 +398,7 @@ fn error(code: &str, detail: impl Into<String>) -> ServerMsg {
 /// same drain-hot/flush-when-empty discipline the per-connection session
 /// loop used — responses pile up in each connection's writer buffer while
 /// ingress is hot and flush once the queue runs dry.
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     shard: usize,
     rx: Receiver<ShardMsg>,
@@ -379,6 +406,7 @@ fn shard_loop(
     config: ServerConfig,
     counters: Arc<ServerCounters>,
     next_lsid: Arc<AtomicU64>,
+    fed_routes: Arc<Mutex<HashMap<u64, usize>>>,
 ) {
     // Thread-local collector: this shard's phase table aggregates every
     // session it owns (decode time included, via span_record).
@@ -386,6 +414,10 @@ fn shard_loop(
         com_obs::install();
     }
     let mut sessions: HashMap<(u64, Option<u64>), Entry> = HashMap::new();
+    // This shard's federated sessions: fed_sid → session key. Inbound
+    // offers carry only the fed_sid; this resolves them to the session
+    // that must answer.
+    let mut fed_index: HashMap<u64, (u64, Option<u64>)> = HashMap::new();
     // Reports for sessions already finished by protocol `shutdown`,
     // held until the connection closes so the drain report is complete.
     let mut finished: HashMap<u64, Vec<SessionReport>> = HashMap::new();
@@ -431,6 +463,8 @@ fn shard_loop(
                     shard,
                     &mut sessions,
                     &mut finished,
+                    &mut fed_index,
+                    &fed_routes,
                     ctx,
                     sid,
                     msg,
@@ -450,6 +484,7 @@ fn shard_loop(
                     .collect();
                 for key in keys {
                     let entry = sessions.remove(&key).expect("key just listed");
+                    unregister_fed(&entry, &mut fed_index, &fed_routes);
                     reports.push(finish_entry(entry, shard, &stats, &counters));
                 }
                 for report in reports {
@@ -460,6 +495,19 @@ fn shard_loop(
     }
     if config.telemetry {
         com_obs::uninstall();
+    }
+}
+
+/// Drop a closing session's federation registrations (shard-local index
+/// and daemon-global route). Harmless for non-federated sessions.
+fn unregister_fed(
+    entry: &Entry,
+    fed_index: &mut HashMap<u64, (u64, Option<u64>)>,
+    fed_routes: &Arc<Mutex<HashMap<u64, usize>>>,
+) {
+    if let Some(fed_sid) = entry.fed_sid {
+        fed_index.remove(&fed_sid);
+        fed_routes.lock().unwrap().remove(&fed_sid);
     }
 }
 
@@ -496,6 +544,8 @@ fn handle_msg(
     shard: usize,
     sessions: &mut HashMap<(u64, Option<u64>), Entry>,
     finished: &mut HashMap<u64, Vec<SessionReport>>,
+    fed_index: &mut HashMap<u64, (u64, Option<u64>)>,
+    fed_routes: &Arc<Mutex<HashMap<u64, usize>>>,
     ctx: ConnCtx,
     sid: Option<u64>,
     msg: ClientMsg,
@@ -543,6 +593,10 @@ fn handle_msg(
                     if format == WireFormat::Binary {
                         ctx.writer.set_format(WireFormat::Binary);
                     }
+                    let fed_sid = s.fed_sid();
+                    if let Some(fs) = fed_sid {
+                        fed_index.insert(fs, key);
+                    }
                     sessions.insert(
                         key,
                         Entry {
@@ -550,6 +604,7 @@ fn handle_msg(
                             lsid,
                             sid,
                             ctx,
+                            fed_sid,
                         },
                     );
                 }
@@ -604,10 +659,37 @@ fn handle_msg(
                 ServerMsg::stats(e.session.stats(dropped))
             });
         }
+        ClientMsg::outsource_offer(offer) => {
+            // Offers arrive on the *peer daemon's* connection and routed
+            // here by fed_sid (see `PoolShared::fed_routes`); answer on
+            // that same connection. The borrower's shard thread is
+            // blocked on this verdict, so it flushes immediately instead
+            // of joining the batched writer cycle.
+            let response = match fed_index
+                .get(&offer.fed_sid)
+                .and_then(|k| sessions.get_mut(k))
+            {
+                Some(entry) => entry.session.handle_offer(&offer),
+                None => {
+                    // A reject from `handle_offer` is a valid protocol
+                    // outcome; an offer for a session this shard does not
+                    // hold is a routing failure and counts as one.
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    ServerMsg::outsource_reject {
+                        fed_sid: offer.fed_sid,
+                        offer: offer.offer,
+                        code: "unknown-fed-session".into(),
+                        detail: format!("no federated session with fed_sid {}", offer.fed_sid),
+                    }
+                }
+            };
+            ctx.writer.send_for(sid, &response);
+        }
         ClientMsg::stats_deep => {
             let dropped = counters.dropped();
             let my = &stats[shard];
             let oversized = ctx.oversized.load(Ordering::Relaxed);
+            let bad_envelope = ctx.bad_envelope.load(Ordering::Relaxed);
             let rows: Vec<ShardRow> = stats.iter().enumerate().map(|(i, s)| s.row(i)).collect();
             with_entry(sessions, &key, &ctx, counters, "say hello first", |e| {
                 let mut deep = e.session.deep_stats(
@@ -615,6 +697,7 @@ fn handle_msg(
                     my.queue.depth(),
                     my.queue.high_water(),
                     oversized,
+                    bad_envelope,
                 );
                 deep.shard = Some(shard as u64);
                 deep.shards = rows.clone();
@@ -626,6 +709,7 @@ fn handle_msg(
                 let bare = entry.sid.is_none();
                 let done_flag = Arc::clone(&entry.ctx.done);
                 let conn_id = entry.ctx.conn_id;
+                unregister_fed(&entry, fed_index, fed_routes);
                 let report = finish_entry(entry, shard, stats, counters);
                 finished.entry(conn_id).or_default().push(report);
                 if bare {
@@ -771,6 +855,7 @@ mod tests {
             txs: vec![tx],
             stats: Arc::new(vec![ShardStats::default()]),
             placement: Placement::Hash,
+            fed_routes: Arc::new(Mutex::new(HashMap::new())),
         };
         let counters = ServerCounters::default();
         let ctx = ConnCtx::detached(0);

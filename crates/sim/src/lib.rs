@@ -24,6 +24,7 @@
 //!   decision, consumed by the metrics layer.
 
 pub mod instance;
+pub mod ledger;
 pub mod outcome;
 pub mod service;
 pub mod violation;
@@ -32,6 +33,7 @@ pub mod worker;
 pub mod world;
 
 pub use instance::{Instance, InstanceData};
+pub use ledger::PlatformLedger;
 pub use outcome::{Assignment, MatchKind};
 pub use service::ServiceModel;
 pub use violation::ConstraintViolation;

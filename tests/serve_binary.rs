@@ -104,6 +104,7 @@ fn every_client_message_round_trips_through_a_binary_frame() {
         max_value: Some(20.0),
         origin: None,
         frame: Some("binary".into()),
+        fed: None,
     });
     let messages = vec![
         hello,
@@ -154,6 +155,7 @@ fn every_server_message_round_trips_through_a_binary_frame() {
         queue_high_water: 17,
         busy_dropped: 0,
         oversized_rejected: 2,
+        bad_envelope_rejected: 1,
         shard: Some(1),
         shards: vec![ShardRow {
             shard: 1,
@@ -164,6 +166,18 @@ fn every_server_message_round_trips_through_a_binary_frame() {
             queue_high_water: 17,
             busy_dropped: 0,
         }],
+        federation: Some(com_serve::FedStatsMsg {
+            platform: 1,
+            offers_sent: 9,
+            offers_accepted: 7,
+            offers_rejected: 1,
+            offers_timed_out: 1,
+            offers_retried: 1,
+            stale_replies: 2,
+            offers_received: 8,
+            lends_granted: 8,
+            lends_rejected: 0,
+        }),
     };
     // An empty-table variant too: Seq(vec![]) must round-trip.
     let mut empty = deep.clone();
@@ -172,6 +186,7 @@ fn every_server_message_round_trips_through_a_binary_frame() {
     empty.gauges.clear();
     empty.shards.clear();
     empty.shard = None;
+    empty.federation = None;
     deep.stats.events = 50;
 
     let messages = vec![
@@ -211,6 +226,14 @@ fn every_server_message_round_trips_through_a_binary_frame() {
             )
             .unwrap(),
             digest: "fnv1a64:deadbeefdeadbeef".into(),
+            fed: Some(com_serve::FedByeMsg {
+                platform: 0,
+                canonical: serde_json::from_str(r#"{"assignments":[],"total_revenue":0.0}"#)
+                    .unwrap(),
+                digest: "fnv1a64:0000000000000000".into(),
+                ledger: com_sim::PlatformLedger::default(),
+                degraded_offers: 0,
+            }),
         }),
     ];
     for msg in &messages {
@@ -320,6 +343,7 @@ fn open_session(addr: &str, frame: Option<&str>) -> Client {
             max_value: Some(20.0),
             origin: None,
             frame: frame.map(|s| s.to_string()),
+            fed: None,
         }))
         .expect("hello");
     let ServerMsg::welcome {
@@ -432,6 +456,7 @@ fn unknown_frame_token_downgrades_to_ndjson() {
             max_value: None,
             origin: None,
             frame: Some("carrier-pigeon".into()),
+            fed: None,
         }))
         .expect("hello");
     let ServerMsg::welcome { frame, .. } = response else {

@@ -105,6 +105,7 @@ fn stats_reports_live_counters_mid_session() {
         max_value: instance.max_value(),
         origin: None,
         frame: None,
+        fed: None,
     });
     let (response, _) = client.rpc(&hello).expect("hello");
     assert!(matches!(response, ServerMsg::welcome { .. }));

@@ -26,6 +26,7 @@ fn hello_msg() -> ClientMsg {
         max_value: Some(20.0),
         origin: None,
         frame: None,
+        fed: None,
     })
 }
 
@@ -90,6 +91,34 @@ fn unknown_message_type_gets_structured_error() {
 }
 
 #[test]
+fn malformed_envelopes_get_typed_error_and_are_counted() {
+    let handle = start_server();
+    let mut client = open_session(&handle.addr().to_string());
+
+    // sid without msg, then a non-integer sid: both structurally broken
+    // envelopes, each answered with the typed `bad-envelope` error.
+    client.send_raw("{\"sid\":3}").expect("send");
+    expect_error(&mut client, "bad-envelope");
+    client
+        .send_raw("{\"sid\":\"x\",\"msg\":\"stats\"}")
+        .expect("send");
+    expect_error(&mut client, "bad-envelope");
+
+    // The session survives, and deep stats report exactly the two
+    // rejected envelopes on this connection.
+    let (response, _) = client.rpc(&ClientMsg::stats_deep).expect("stats_deep");
+    let ServerMsg::stats_deep(deep) = response else {
+        panic!("expected stats_deep, got {response:?}");
+    };
+    assert_eq!(deep.bad_envelope_rejected, 2);
+
+    let (response, _) = client.rpc(&ClientMsg::shutdown).expect("shutdown");
+    assert!(matches!(response, ServerMsg::bye(_)));
+    assert_eq!(handle.counters().protocol_errors(), 2);
+    handle.shutdown();
+}
+
+#[test]
 fn events_before_hello_and_duplicate_hello_are_refused() {
     let handle = start_server();
     let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
@@ -131,6 +160,7 @@ fn unknown_matcher_is_refused_with_the_registry_message() {
             max_value: None,
             origin: None,
             frame: None,
+            fed: None,
         }))
         .expect("hello");
     let ServerMsg::error(e) = response else {

@@ -53,6 +53,7 @@ fn hello_for(instance: &Instance, matcher: &str, seed: u64) -> ClientMsg {
         max_value: instance.max_value(),
         origin: None,
         frame: None,
+        fed: None,
     })
 }
 
@@ -219,6 +220,7 @@ fn duplicate_hello_for_live_sid_is_refused_without_killing_the_session() {
         max_value: instance.max_value(),
         origin: Some(Point::new(9.0, 9.0)),
         frame: None,
+        fed: None,
     };
     let response = mux_rpc(&mut client, 3, ClientMsg::hello(re_hello));
     let ServerMsg::error(e) = response else {
@@ -350,6 +352,7 @@ fn grid_placement_serves_identically_to_hash_placement() {
             max_value: instance.max_value(),
             origin: Some(origin),
             frame: None,
+            fed: None,
         };
         let response = mux_rpc(&mut client, sid, ClientMsg::hello(hello));
         assert!(matches!(response, ServerMsg::welcome { .. }));
